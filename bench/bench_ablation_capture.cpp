@@ -1,0 +1,78 @@
+// Ablation — the capture effect's impact on reading fairness and rate.
+//
+// Real UHF receivers often decode the strongest tag of a collided slot
+// ("capture").  Capture raises aggregate throughput but biases readings
+// toward near tags, hurting exactly the far/mobile tags surveillance cares
+// about.  This harness sweeps the capture probability and reports the
+// aggregate read rate, Jain's fairness index over per-tag read counts, and
+// the near/far read ratio.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "gen2/reader.hpp"
+#include "util/circular.hpp"
+#include "util/stats.hpp"
+
+using namespace tagwatch;
+
+int main() {
+  std::printf("Ablation — capture effect vs fairness (40 tags, half near "
+              "the antenna, half far)\n\n");
+  std::printf("%10s  %12s  %9s  %10s\n", "capture p", "reads/s", "Jain",
+              "ord(far-near)");
+
+  for (const double p : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    sim::World world;
+    util::Rng rng(314);
+    for (std::size_t i = 0; i < 40; ++i) {
+      sim::SimTag t;
+      t.epc = util::Epc::from_serial(i + 1);
+      const double d = (i < 20) ? rng.uniform(0.5, 1.5) : rng.uniform(4.0, 6.0);
+      const double angle = rng.uniform(0.0, util::kTwoPi);
+      t.motion = std::make_shared<sim::StaticMotion>(
+          util::Vec3{d * std::cos(angle), d * std::sin(angle), 0.0});
+      t.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+      world.add_tag(std::move(t));
+    }
+    rf::RfChannel channel(rf::ChannelPlan::single(920.625e6));
+    gen2::ReaderConfig cfg;
+    cfg.capture_probability = p;
+    gen2::Gen2Reader reader(
+        gen2::LinkTiming(gen2::LinkParams::paper_testbed()), cfg, world,
+        channel, {{1, {0, 0, 1}, 8.0}}, util::Rng(315));
+
+    std::vector<double> counts(40, 0.0);
+    std::size_t total = 0;
+    // Capture reads near tags *earlier* within each round, which decides
+    // who gets read at all when presence windows are short (a gate).
+    util::RunningStats near_order, far_order;
+    std::size_t order_in_round = 0;
+    gen2::InvFlag target = gen2::InvFlag::kA;
+    const util::SimTime t_end = util::sec(30);
+    while (world.now() < t_end) {
+      gen2::QueryCommand q;
+      q.target = target;
+      target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB
+                                           : gen2::InvFlag::kA;
+      order_in_round = 0;
+      reader.run_inventory_round(q, [&](const rf::TagReading& r) {
+        // from_serial puts the serial in the low 64 bits of the 96-bit EPC.
+        const std::uint64_t serial = r.epc.bits().substring(32, 64).to_uint64();
+        counts[serial - 1] += 1.0;
+        ++total;
+        (serial <= 20 ? near_order : far_order)
+            .add(static_cast<double>(order_in_round++));
+      });
+    }
+    std::printf("%10.2f  %12.1f  %9.3f  %10.2f\n", p,
+                static_cast<double>(total) / util::to_seconds(t_end),
+                util::jain_fairness(counts),
+                far_order.mean() - near_order.mean());
+  }
+  std::printf("\n(dual-target rounds re-read every tag once per round, so "
+              "long-run fairness stays 1;\ncapture instead buys throughput "
+              "and pulls near tags to the FRONT of each round,\npushing far "
+              "tags later — the column is the mean read-order gap)\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Ablation — detector design choices beyond Fig. 12's four methods:
+//
+//  (a) MoG model keying: per-(antenna, channel) (the physically correct
+//      default) vs pooled models, evaluated on a hopping reader.  Pooled
+//      models mix incomparable phases, inflating false positives.
+//  (b) Hybrid fusion (AND / OR of phase-MoG and RSS-MoG) vs the plain
+//      detectors: AND trades sensitivity for fewer multipath false alarms,
+//      OR the reverse.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/detectors.hpp"
+#include "gen2/reader.hpp"
+#include "util/circular.hpp"
+
+using namespace tagwatch;
+
+namespace {
+
+struct Rates {
+  double fpr = 0.0;
+  double tpr = 0.0;
+};
+
+/// One office scene: static tags + people (FPR source) + a train tag (TPR
+/// source), on a hopping reader.
+Rates evaluate(core::DetectorKind kind, const core::DetectorConfig& config,
+               std::uint64_t seed) {
+  sim::World world;
+  util::Rng rng(seed);
+
+  sim::SimTag train;
+  train.epc = util::Epc::from_serial(999);
+  train.motion =
+      std::make_shared<sim::CircularTrack>(util::Vec3{1.0, 1.0, 0.0}, 0.2, 0.7);
+  train.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+  const util::Epc train_epc = train.epc;
+  world.add_tag(std::move(train));
+
+  for (int i = 0; i < 30; ++i) {
+    sim::SimTag t;
+    t.epc = util::Epc::from_serial(static_cast<std::uint64_t>(i) + 1);
+    t.motion = std::make_shared<sim::StaticMotion>(
+        util::Vec3{rng.uniform(-4, 4), rng.uniform(-4, 4), 0.0});
+    t.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    world.add_tag(std::move(t));
+  }
+  util::Rng walk_rng = rng.fork();
+  for (int p = 0; p < 5; ++p) {
+    world.add_reflector({std::make_shared<sim::RandomWaypoint>(
+                             util::Vec3{-5, -5, 0}, util::Vec3{5, 5, 0}, 1.0,
+                             util::sec(300), walk_rng, util::sec(2)),
+                         0.3});
+  }
+
+  rf::RfChannel channel(rf::ChannelPlan::china_920_926());
+  gen2::ReaderConfig rcfg;
+  rcfg.channel_dwell = util::msec(200);
+  gen2::Gen2Reader reader(gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+                          rcfg, world, channel, {{1, {0, 0, 2}, 8.0}},
+                          util::Rng(seed + 1));
+
+  std::unordered_map<util::Epc, std::unique_ptr<core::MotionDetector>> dets;
+  std::size_t tp = 0, fn = 0, fp = 0, tn = 0;
+  gen2::InvFlag target = gen2::InvFlag::kA;
+  while (world.now() < util::sec(300)) {
+    gen2::QueryCommand q;
+    q.q = 5;
+    q.target = target;
+    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB : gen2::InvFlag::kA;
+    reader.run_inventory_round(q, [&](const rf::TagReading& r) {
+      auto& det = dets[r.epc];
+      if (!det) det = core::make_detector(kind, config);
+      const bool flagged = det->update(r) == core::MotionVerdict::kMoving;
+      if (r.timestamp < util::sec(120)) return;  // warm-up
+      if (r.epc == train_epc) {
+        flagged ? ++tp : ++fn;
+      } else {
+        flagged ? ++fp : ++tn;
+      }
+    });
+  }
+  return {fp + tn ? static_cast<double>(fp) / static_cast<double>(fp + tn) : 0.0,
+          tp + fn ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation — detector design choices (30 static tags + 5 "
+              "people + 1 train tag, 16-channel hopping)\n\n");
+
+  std::printf("(a) MoG model keying\n");
+  std::printf("%-24s  %8s  %8s\n", "keying", "FPR", "TPR");
+  {
+    core::DetectorConfig per_channel;
+    const Rates r1 = evaluate(core::DetectorKind::kPhaseMog, per_channel, 501);
+    std::printf("%-24s  %7.2f%%  %7.1f%%\n", "per (antenna, channel)",
+                100.0 * r1.fpr, 100.0 * r1.tpr);
+
+    core::DetectorConfig pooled = per_channel;
+    pooled.keying.per_channel = false;
+    const Rates r2 = evaluate(core::DetectorKind::kPhaseMog, pooled, 501);
+    std::printf("%-24s  %7.2f%%  %7.1f%%\n", "pooled across channels",
+                100.0 * r2.fpr, 100.0 * r2.tpr);
+  }
+  std::printf("(pooling mixes incomparable per-channel phases: the mixture "
+              "either balloons or misfires)\n\n");
+
+  std::printf("(b) hybrid fusion\n");
+  std::printf("%-24s  %8s  %8s\n", "detector", "FPR", "TPR");
+  for (const auto& [kind, name] :
+       std::vector<std::pair<core::DetectorKind, const char*>>{
+           {core::DetectorKind::kPhaseMog, "Phase-MoG"},
+           {core::DetectorKind::kRssMog, "RSS-MoG"},
+           {core::DetectorKind::kHybridAnd, "Hybrid-AND"},
+           {core::DetectorKind::kHybridOr, "Hybrid-OR"}}) {
+    const Rates r = evaluate(kind, core::DetectorConfig{}, 502);
+    std::printf("%-24s  %7.2f%%  %7.1f%%\n", name, 100.0 * r.fpr,
+                100.0 * r.tpr);
+  }
+  std::printf("(AND suppresses multipath false alarms at some sensitivity "
+              "cost; OR maximizes sensitivity)\n");
+  return 0;
+}

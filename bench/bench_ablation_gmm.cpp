@@ -1,0 +1,108 @@
+// Ablation — design choices called out in DESIGN.md:
+//
+//  (a) K (mixture size): single Gaussian (K=1) vs the paper's K=8 in a
+//      multipath-rich office.  Fig. 7's argument: one Gaussian cannot
+//      absorb the alternating multipath states, so K=1 floods Phase II
+//      with false positives.
+//  (b) cost model in the greedy gain: scheduling with the start-up cost
+//      τ0 zeroed out (the "never considered before" factor §2.2 stresses)
+//      picks many tiny bitmasks and pays τ0 per round on air.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "gen2/reader.hpp"
+
+using namespace tagwatch;
+
+namespace {
+
+// ------------------------------------------------------- (a) K ablation
+double false_positive_rate_with_k(std::size_t k, std::uint64_t seed) {
+  sim::World world;
+  util::Rng rng(seed);
+  for (int i = 0; i < 30; ++i) {
+    sim::SimTag t;
+    t.epc = util::Epc::from_serial(static_cast<std::uint64_t>(i) + 1);
+    t.motion = std::make_shared<sim::StaticMotion>(
+        util::Vec3{rng.uniform(-4, 4), rng.uniform(-4, 4), 0.0});
+    t.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    world.add_tag(std::move(t));
+  }
+  util::Rng walk_rng = rng.fork();
+  for (int p = 0; p < 6; ++p) {
+    world.add_reflector({std::make_shared<sim::RandomWaypoint>(
+                             util::Vec3{-5, -5, 0}, util::Vec3{5, 5, 0}, 1.0,
+                             util::sec(240), walk_rng, util::sec(2)),
+                         0.3});
+  }
+  rf::RfChannel channel(rf::ChannelPlan::single(920.625e6));
+  gen2::Gen2Reader reader(gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+                          gen2::ReaderConfig{}, world, channel,
+                          {{1, {0, 0, 2}, 8.0}}, util::Rng(seed + 1));
+
+  core::DetectorConfig cfg;
+  cfg.phase_mog.max_components = k;
+  std::unordered_map<util::Epc, std::unique_ptr<core::MotionDetector>> dets;
+  std::size_t fp = 0, total = 0;
+  gen2::InvFlag target = gen2::InvFlag::kA;
+  while (world.now() < util::sec(240)) {
+    gen2::QueryCommand q;
+    q.q = 5;
+    q.target = target;
+    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB : gen2::InvFlag::kA;
+    reader.run_inventory_round(q, [&](const rf::TagReading& r) {
+      auto& det = dets[r.epc];
+      if (!det) det = core::make_detector(core::DetectorKind::kPhaseMog, cfg);
+      const bool flagged = det->update(r) == core::MotionVerdict::kMoving;
+      if (r.timestamp >= util::sec(60)) {  // post warm-up
+        ++total;
+        if (flagged) ++fp;
+      }
+    });
+  }
+  return total ? static_cast<double>(fp) / static_cast<double>(total) : 0.0;
+}
+
+// ------------------------------------------ (b) cost-model ablation
+double mover_irr_with_cost_model(const core::InventoryCostModel& model,
+                                 std::uint64_t seed) {
+  bench::Testbed bed(60, 3, seed);
+  core::TagwatchConfig cfg;
+  cfg.cost_model = model;
+  cfg.phase2_duration = util::sec(2);
+  core::TagwatchController ctl(cfg, *bed.client);
+  const auto reports = ctl.run_cycles(10);
+  return bench::mover_irr_hz(reports, bed, 5);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A — mixture size K vs false-positive rate\n");
+  std::printf("(30 static office tags, 6 people walking; FPR after 60 s "
+              "warm-up)\n\n");
+  std::printf("%4s  %8s\n", "K", "FPR");
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    std::printf("%4zu  %7.2f%%\n", k,
+                100.0 * false_positive_rate_with_k(k, 6100 + k));
+  }
+  std::printf("\n(the paper's default K=8 exists to absorb multipath states; "
+              "K=1 reverts to the naive single-Gaussian model)\n\n");
+
+  std::printf("Ablation B — start-up cost in the scheduler's gain "
+              "function\n\n");
+  const double with_tau0 = mover_irr_with_cost_model(
+      core::InventoryCostModel::paper_fit(), 6200);
+  // τ0 ≈ 0: the gain function sees only slot costs, so merging bitmasks
+  // looks pointless and the plan degenerates toward per-target rounds.
+  const double without_tau0 =
+      mover_irr_with_cost_model(core::InventoryCostModel(1e-6, 0.00018), 6200);
+  std::printf("mover Phase II IRR with tau0 in the model : %6.2f Hz\n",
+              with_tau0);
+  std::printf("mover Phase II IRR with tau0 zeroed       : %6.2f Hz\n",
+              without_tau0);
+  std::printf("\n(modeling the per-round start-up cost is what §2.2 claims "
+              "as a first: ignoring it costs real rate)\n");
+  return 0;
+}

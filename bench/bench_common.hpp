@@ -1,0 +1,76 @@
+// Shared scenario builders for the benchmark harnesses.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/tagwatch.hpp"
+#include "util/circular.hpp"
+
+namespace tagwatch::bench {
+
+/// A standard testbed: `n_tags` tags with the first `n_movers` on a
+/// spinning turntable / toy-train track, the rest static; 4 antennas at
+/// (±5 m, ±5 m) as in §7.3.
+struct Testbed {
+  sim::World world;
+  rf::ChannelPlan plan;
+  rf::RfChannel channel;
+  std::vector<rf::Antenna> antennas;
+  std::vector<util::Epc> mover_epcs;
+  std::optional<llrp::SimReaderClient> client;
+
+  Testbed(std::size_t n_tags, std::size_t n_movers, std::uint64_t seed,
+          rf::ChannelPlan channel_plan = rf::ChannelPlan::single(920.625e6),
+          gen2::LinkParams link = gen2::LinkParams::paper_testbed())
+      : plan(channel_plan), channel(plan) {
+    util::Rng rng(seed);
+    antennas = {{1, {-5, -5, 0}, 8.0},
+                {2, {5, -5, 0}, 8.0},
+                {3, {-5, 5, 0}, 8.0},
+                {4, {5, 5, 0}, 8.0}};
+    for (std::size_t i = 0; i < n_tags; ++i) {
+      sim::SimTag tag;
+      tag.epc = util::Epc::random(rng);
+      if (i < n_movers) {
+        // Turntable: 20 cm radius, ~0.7 m/s tangential speed.
+        tag.motion = std::make_shared<sim::CircularTrack>(
+            util::Vec3{0.5, 0.5, 0.0}, 0.2, 0.7,
+            rng.uniform(0.0, util::kTwoPi));
+        mover_epcs.push_back(tag.epc);
+      } else {
+        tag.motion = std::make_shared<sim::StaticMotion>(
+            util::Vec3{rng.uniform(-3, 3), rng.uniform(-3, 3), 0.0});
+      }
+      tag.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+      world.add_tag(std::move(tag));
+    }
+    client.emplace(gen2::LinkTiming(link), gen2::ReaderConfig{}, world,
+                   channel, antennas, seed + 1);
+  }
+
+  bool is_mover(const util::Epc& epc) const {
+    for (const auto& m : mover_epcs) {
+      if (m == epc) return true;
+    }
+    return false;
+  }
+};
+
+/// Phase II IRR per mover, averaged over cycles [warmup, reports.size()).
+inline double mover_irr_hz(const std::vector<core::CycleReport>& reports,
+                           const Testbed& bed, std::size_t warmup) {
+  double reads = 0.0;
+  double secs = 0.0;
+  for (std::size_t c = warmup; c < reports.size(); ++c) {
+    secs += util::to_seconds(reports[c].phase2_duration);
+    for (const auto& [epc, count] : reports[c].phase2_counts) {
+      if (bed.is_mover(epc)) reads += static_cast<double>(count);
+    }
+  }
+  if (bed.mover_epcs.empty() || secs <= 0.0) return 0.0;
+  return reads / static_cast<double>(bed.mover_epcs.size()) / secs;
+}
+
+}  // namespace tagwatch::bench

@@ -1,0 +1,118 @@
+// E6 — Fig. 14: the self-learning curve.
+//
+// A stationary tag is observed while a person walks around.  The immobility
+// model is trained on the first T of trace (T swept from 0.1 s to 10 s) and
+// tested on the subsequent readings: accuracy = fraction of test readings
+// correctly classified as stationary.
+//
+// Paper shape targets: ~70% accuracy after ~1.5 s (≈67 readings), ~90%
+// after ~2.9 s (≈130 readings) — one 5 s cycle suffices to stabilize a
+// newly emerging Gaussian component ("quick start").
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/detectors.hpp"
+#include "gen2/reader.hpp"
+#include "util/circular.hpp"
+
+using namespace tagwatch;
+
+namespace {
+
+std::vector<rf::TagReading> collect_trace(std::uint64_t seed,
+                                          util::SimDuration duration) {
+  sim::World world;
+  util::Rng rng(seed);
+  sim::SimTag tag;
+  tag.epc = util::Epc::from_serial(1);
+  tag.motion = std::make_shared<sim::StaticMotion>(util::Vec3{1.5, 0.5, 0.0});
+  tag.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+  world.add_tag(std::move(tag));
+  util::Rng walk_rng = rng.fork();
+  world.add_reflector({std::make_shared<sim::RandomWaypoint>(
+                           util::Vec3{-3, -3, 0}, util::Vec3{3, 3, 0}, 1.0,
+                           duration, walk_rng, util::sec(2)),
+                       0.3});
+
+  rf::RfChannel channel(rf::ChannelPlan::china_920_926());
+  // Alone in the field the tag is read at ~45 Hz, matching the paper's
+  // ~45 readings/s trace density (67 readings ≈ 1.5 s).  Fast frequency
+  // hopping spreads those readings over per-channel immobility models, so
+  // stable detection needs every channel's model to mature — the gradual
+  // ramp of Fig. 14.
+  gen2::ReaderConfig rcfg;
+  rcfg.channel_dwell = util::msec(80);
+  gen2::Gen2Reader reader(gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+                          rcfg, world, channel, {{1, {0, 0, 2}, 8.0}},
+                          util::Rng(seed + 1));
+  std::vector<rf::TagReading> trace;
+  gen2::InvFlag target = gen2::InvFlag::kA;
+  while (world.now() < util::SimTime{0} + duration) {
+    gen2::QueryCommand q;
+    q.target = target;
+    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB : gen2::InvFlag::kA;
+    reader.run_inventory_round(
+        q, [&trace](const rf::TagReading& r) { trace.push_back(r); });
+  }
+  return trace;
+}
+
+/// Trains on trace[0, train_end_s) and tests on the next 0.8 s of trace
+/// (long enough to span several hop channels, as a Phase I pass would).
+double accuracy_after(const std::vector<rf::TagReading>& trace,
+                      double train_end_s) {
+  core::DetectorConfig cfg;
+  cfg.phase_mog.trust_count = 5;
+  const auto detector = core::make_detector(core::DetectorKind::kPhaseMog, cfg);
+  std::size_t correct = 0, tested = 0;
+  for (const auto& r : trace) {
+    const double t = util::to_seconds(r.timestamp);
+    if (t < train_end_s) {
+      detector->update(r);
+    } else if (t < train_end_s + 0.8) {
+      if (detector->classify(r) == core::MotionVerdict::kStationary) ++correct;
+      ++tested;
+    }
+  }
+  return tested ? static_cast<double>(correct) / static_cast<double>(tested)
+                : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6 / Fig. 14 — learning curve: accuracy vs training time\n");
+  std::printf("(stationary tag, person walking around; test = next 0.8 s)\n\n");
+  std::printf("%-10s  %-10s  %s\n", "train (s)", "readings", "accuracy");
+
+  constexpr int kRuns = 10;
+  std::vector<std::vector<rf::TagReading>> traces;
+  for (int run = 0; run < kRuns; ++run) {
+    traces.push_back(collect_trace(3000 + static_cast<std::uint64_t>(run),
+                                   util::sec(12)));
+  }
+
+  double at_1_5 = 0.0, at_3 = 0.0;
+  for (const double train_s : {0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.9,
+                               4.0, 5.0, 7.5, 10.0}) {
+    double acc = 0.0;
+    double readings = 0.0;
+    for (const auto& trace : traces) {
+      acc += accuracy_after(trace, train_s);
+      for (const auto& r : trace) {
+        if (util::to_seconds(r.timestamp) < train_s) readings += 1.0;
+      }
+    }
+    acc /= kRuns;
+    readings /= kRuns;
+    std::printf("%-10.2f  %-10.0f  %5.1f%%\n", train_s, readings, acc * 100.0);
+    if (train_s == 1.5) at_1_5 = acc;
+    if (train_s == 2.9) at_3 = acc;
+  }
+  std::printf("\npaper: ~70%% at 1.49 s (67 readings), ~90%% at 2.9 s "
+              "(130 readings)\n");
+  std::printf("measured: %.0f%% at 1.5 s, %.0f%% at 2.9 s\n", at_1_5 * 100.0,
+              at_3 * 100.0);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E7 — Fig. 15/16: schedule feasibility — per-tag IRR with 2/40 and 5/40
+// targets pinned via the configuration file (isolating Phase II from the
+// assessment, exactly as §7.2 does).
+//
+// For each case the harness prints the per-tag Phase II IRR under three
+// modes: read-all, Tagwatch (greedy set-cover bitmasks), and the naive
+// rate-adaptive solution (target EPCs as bitmasks).
+//
+// Paper shape targets (Fig. 15, 2/40): read-all ≈ 13 Hz; Tagwatch lifts the
+// targets ~3.6× (to ≈47 Hz) while the rest fall ~0; naive gives ~1.8×.
+// Fig. 16 (5/40): Tagwatch still ~2.2×, a couple of non-targets are
+// collaterally covered, and naive drops below read-all.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace tagwatch;
+using bench::Testbed;
+
+namespace {
+
+struct CaseResult {
+  std::map<std::size_t, double> irr_by_tag;  // tag index -> Hz
+};
+
+CaseResult run_case(std::size_t n_targets, core::ScheduleMode mode,
+                    std::uint64_t seed) {
+  Testbed bed(40, 0, seed);  // nothing actually moves: targets are pinned
+  core::TagwatchConfig cfg;
+  cfg.mode = mode;
+  // Pin the first n_targets tags (by world order) as "concerned" targets.
+  for (std::size_t i = 0; i < n_targets; ++i) {
+    cfg.pinned_targets.push_back(bed.world.tags()[i].epc);
+  }
+  // Raise the fallback threshold so pinning 5/40 still schedules.
+  cfg.mobile_fraction_threshold = 0.5;
+  core::TagwatchController ctl(cfg, *bed.client);
+
+  const auto reports = ctl.run_cycles(10);
+  CaseResult result;
+  double secs = 0.0;
+  std::map<util::Epc, double> reads;
+  for (std::size_t c = 4; c < reports.size(); ++c) {
+    secs += util::to_seconds(reports[c].phase2_duration);
+    for (const auto& [epc, count] : reports[c].phase2_counts) {
+      reads[epc] += static_cast<double>(count);
+    }
+  }
+  for (std::size_t i = 0; i < bed.world.tags().size(); ++i) {
+    result.irr_by_tag[i] = reads[bed.world.tags()[i].epc] / secs;
+  }
+  return result;
+}
+
+void print_case(std::size_t n_targets, std::uint64_t seed) {
+  std::printf("---- %zu targets out of 40 tags ----\n", n_targets);
+  const CaseResult all = run_case(n_targets, core::ScheduleMode::kReadAll, seed);
+  const CaseResult tw = run_case(n_targets, core::ScheduleMode::kGreedyCover, seed);
+  const CaseResult nv = run_case(n_targets, core::ScheduleMode::kNaiveEpcMasks, seed);
+
+  std::printf("%5s  %9s  %9s  %9s   %s\n", "tag", "read-all", "tagwatch",
+              "naive", "role");
+  double sum_all = 0.0, sum_tw = 0.0, sum_nv = 0.0;
+  std::size_t collateral = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const bool target = i < n_targets;
+    const bool interesting = target || tw.irr_by_tag.at(i) > 0.5;
+    if (target) {
+      sum_all += all.irr_by_tag.at(i);
+      sum_tw += tw.irr_by_tag.at(i);
+      sum_nv += nv.irr_by_tag.at(i);
+    } else if (tw.irr_by_tag.at(i) > 0.5) {
+      ++collateral;
+    }
+    if (interesting) {
+      std::printf("%5zu  %9.2f  %9.2f  %9.2f   %s\n", i + 1,
+                  all.irr_by_tag.at(i), tw.irr_by_tag.at(i),
+                  nv.irr_by_tag.at(i),
+                  target ? "target" : "collateral (covered by a bitmask)");
+    }
+  }
+  const double n = static_cast<double>(n_targets);
+  std::printf("target means: read-all %.2f Hz, tagwatch %.2f Hz (%+.0f%%), "
+              "naive %.2f Hz (%+.0f%%)\n",
+              sum_all / n, sum_tw / n,
+              (sum_tw / sum_all - 1.0) * 100.0, sum_nv / n,
+              (sum_nv / sum_all - 1.0) * 100.0);
+  std::printf("collaterally covered non-targets: %zu\n\n", collateral);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7 / Fig. 15-16 — schedule feasibility (targets pinned via "
+              "config; Phase II IRR only)\n\n");
+  print_case(2, 501);  // Fig. 15
+  print_case(5, 502);  // Fig. 16
+  std::printf("paper: 2/40 -> +261%% (13->47 Hz) for Tagwatch, +83%% naive;\n"
+              "       5/40 -> +120%% for Tagwatch, naive below read-all.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Microbenchmarks (google-benchmark) for the scheduling hot path:
+// indexed-table construction and the greedy set-cover search, across scene
+// sizes and target counts.  This is the compute that must fit inside the
+// Fig.-17 budget (a few ms per cycle).
+#include <benchmark/benchmark.h>
+
+#include "core/setcover.hpp"
+#include "util/rng.hpp"
+
+using namespace tagwatch;
+
+namespace {
+
+std::vector<util::Epc> random_scene(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<util::Epc> scene;
+  scene.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) scene.push_back(util::Epc::random(rng));
+  return scene;
+}
+
+void BM_BitmaskIndexBuild(benchmark::State& state) {
+  const auto scene = random_scene(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    core::BitmaskIndex index(scene);
+    benchmark::DoNotOptimize(index.scene_size());
+  }
+}
+BENCHMARK(BM_BitmaskIndexBuild)->Arg(40)->Arg(100)->Arg(400);
+
+void BM_CandidateEnumeration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto n_targets = static_cast<std::size_t>(state.range(1));
+  const auto scene = random_scene(n, 11);
+  core::BitmaskIndex index(scene);
+  std::vector<util::Epc> targets(index.scene().begin(),
+                                 index.scene().begin() +
+                                     static_cast<std::ptrdiff_t>(n_targets));
+  const auto bitmap = index.bitmap_of(targets);
+  for (auto _ : state) {
+    auto candidates = index.candidates_for(bitmap);
+    benchmark::DoNotOptimize(candidates.size());
+  }
+}
+BENCHMARK(BM_CandidateEnumeration)
+    ->Args({40, 2})
+    ->Args({40, 8})
+    ->Args({100, 5})
+    ->Args({400, 20});
+
+void BM_GreedyCoverPlan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto n_targets = static_cast<std::size_t>(state.range(1));
+  const auto scene = random_scene(n, 13);
+  core::BitmaskIndex index(scene);
+  std::vector<util::Epc> targets(index.scene().begin(),
+                                 index.scene().begin() +
+                                     static_cast<std::ptrdiff_t>(n_targets));
+  const auto bitmap = index.bitmap_of(targets);
+  core::GreedyCoverScheduler sched(core::InventoryCostModel::paper_fit());
+  for (auto _ : state) {
+    auto plan = sched.plan(index, bitmap);
+    benchmark::DoNotOptimize(plan.selections.size());
+  }
+}
+BENCHMARK(BM_GreedyCoverPlan)
+    ->Args({40, 2})
+    ->Args({40, 8})
+    ->Args({100, 5})
+    ->Args({200, 10})
+    ->Args({400, 20});
+
+void BM_EndToEndSchedule(benchmark::State& state) {
+  // The full per-cycle compute: build the index, map targets, plan.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto n_targets = static_cast<std::size_t>(state.range(1));
+  const auto scene = random_scene(n, 17);
+  std::vector<util::Epc> targets(scene.begin(),
+                                 scene.begin() +
+                                     static_cast<std::ptrdiff_t>(n_targets));
+  core::GreedyCoverScheduler sched(core::InventoryCostModel::paper_fit());
+  for (auto _ : state) {
+    core::BitmaskIndex index(scene);
+    auto plan = sched.plan(index, index.bitmap_of(targets));
+    benchmark::DoNotOptimize(plan.estimated_cost_s);
+  }
+}
+BENCHMARK(BM_EndToEndSchedule)->Args({60, 3})->Args({400, 20});
+
+}  // namespace
+
+BENCHMARK_MAIN();

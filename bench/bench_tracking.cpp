@@ -1,0 +1,133 @@
+// E1 — Fig. 1 + §7.3 application study: tracking accuracy vs companions.
+//
+// A tagged toy train (r = 20 cm, 0.7 m/s) is tracked by the differential
+// hologram localizer with {0, 2, 4} stationary tags beside the track,
+// under traditional read-all and under Tagwatch rate-adaptive reading.
+//
+// Paper shape targets: traditional degrades 1.8 cm → 6 cm → 10.6 cm as
+// companions are added (IRR 68 → 30 → 21 Hz); rate-adaptive with 4
+// companions stays ≈3.3 cm, nearly matching the companion-free case.
+#include <cstdio>
+#include <memory>
+
+#include "core/tagwatch.hpp"
+#include "track/hologram.hpp"
+#include "util/stats.hpp"
+#include "util/circular.hpp"
+
+using namespace tagwatch;
+
+namespace {
+
+struct CaseResult {
+  double irr_hz = 0.0;
+  track::TrackingAccuracy accuracy;
+};
+
+CaseResult run_case(std::size_t stationary, bool rate_adaptive,
+                    std::uint64_t seed) {
+  sim::World world;
+  util::Rng rng(seed);
+
+  const auto train_motion =
+      std::make_shared<sim::CircularTrack>(util::Vec3{0, 0, 0}, 0.2, 0.7);
+  sim::SimTag train;
+  train.epc = util::Epc::random(rng);
+  train.motion = train_motion;
+  train.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+  const util::Epc train_epc = train.epc;
+  world.add_tag(std::move(train));
+
+  for (std::size_t i = 0; i < stationary; ++i) {
+    sim::SimTag tag;
+    tag.epc = util::Epc::random(rng);
+    tag.motion = std::make_shared<sim::StaticMotion>(util::Vec3{
+        0.4 * std::cos(1.57 * static_cast<double>(i) + 0.6),
+        0.4 * std::sin(1.57 * static_cast<double>(i) + 0.6), 0.0});
+    tag.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    world.add_tag(std::move(tag));
+  }
+
+  const rf::ChannelPlan plan = rf::ChannelPlan::single(920.625e6);
+  rf::RfChannel channel(plan);
+  std::vector<rf::Antenna> antennas{{1, {-5, -5, 0}, 8.0},
+                                    {2, {5, -5, 0}, 8.0},
+                                    {3, {-5, 5, 0}, 8.0},
+                                    {4, {5, 5, 0}, 8.0}};
+  llrp::SimReaderClient client(
+      gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+      gen2::ReaderConfig{}, world, channel, antennas, seed + 1);
+
+  core::TagwatchConfig cfg;
+  cfg.mode = rate_adaptive ? core::ScheduleMode::kGreedyCover
+                           : core::ScheduleMode::kReadAll;
+  core::TagwatchController ctl(cfg, client);
+
+  std::vector<rf::TagReading> train_readings;
+  ctl.set_read_listener([&](const rf::TagReading& r) {
+    if (r.epc == train_epc) train_readings.push_back(r);
+  });
+
+  ctl.run_cycles(4);  // warm-up: immobility models converge
+
+  // Measurement: like the paper's application study ("we fix the initial
+  // position at a known point to improve comparison"), each lap/cycle is
+  // tracked as its own segment anchored at a known starting fix; the
+  // reading rate then determines whether lock survives the segment.
+  CaseResult result;
+  util::RunningStats errors;
+  std::size_t reads = 0;
+  double secs = 0.0;
+  std::size_t estimates = 0;
+  for (int segment = 0; segment < 6; ++segment) {
+    train_readings.clear();
+    const util::SimTime t0 = client.now();
+    ctl.run_cycles(1);
+    secs += util::to_seconds(client.now() - t0);
+    reads += train_readings.size();
+    if (train_readings.empty()) continue;
+
+    track::TrackerConfig tcfg;
+    tcfg.min_x = -0.45;
+    tcfg.max_x = 0.45;
+    tcfg.min_y = -0.45;
+    tcfg.max_y = 0.45;
+    tcfg.initial_hint =
+        train_motion->position(train_readings.front().timestamp);
+    track::HologramTracker tracker(tcfg, antennas, plan);
+    for (const auto& est : tracker.track(train_readings)) {
+      errors.add(util::distance(est.position, train_motion->position(est.time)));
+      ++estimates;
+    }
+  }
+  result.irr_hz = static_cast<double>(reads) / secs;
+  result.accuracy.mean_error_m = errors.mean();
+  result.accuracy.stddev_error_m = errors.stddev();
+  result.accuracy.estimates = estimates;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1 / Fig. 1 — tracking a toy train with stationary "
+              "companions\n\n");
+  std::printf("%-26s  %9s  %10s  %16s\n", "case", "IRR (Hz)", "estimates",
+              "mean error (cm)");
+  const std::uint64_t seed = 424242;
+  for (const std::size_t companions : {0u, 2u, 4u}) {
+    const CaseResult r = run_case(companions, false, seed);
+    std::printf("(1+%zu) traditional         %9.1f  %10zu  %9.2f +- %.2f\n",
+                companions, r.irr_hz, r.accuracy.estimates,
+                r.accuracy.mean_error_m * 100.0,
+                r.accuracy.stddev_error_m * 100.0);
+  }
+  const CaseResult ra = run_case(4, true, seed);
+  std::printf("(1+4) rate-adaptive        %9.1f  %10zu  %9.2f +- %.2f\n",
+              ra.irr_hz, ra.accuracy.estimates,
+              ra.accuracy.mean_error_m * 100.0,
+              ra.accuracy.stddev_error_m * 100.0);
+  std::printf("\npaper: 1.8 / 6.0 / 10.6 cm traditional (68/30/21 Hz); "
+              "3.34 cm rate-adaptive with 4 companions.\n");
+  return 0;
+}

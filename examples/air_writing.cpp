@@ -1,0 +1,151 @@
+// Air writing (the paper's §1 human–machine interface motivation [27]):
+// a tag on a fingertip traces a letter in the air; the hologram tracker
+// recovers the stroke from backscatter phase.  With a crowd of stationary
+// tags sharing the channel, traditional reading undersamples the stroke;
+// Tagwatch restores the sampling rate and the letter becomes legible.
+//
+// The recovered strokes are rendered as ASCII rasters for quick eyeballing.
+//
+// Run: ./examples/air_writing
+#include <array>
+#include <cstdio>
+#include <memory>
+
+#include "core/tagwatch.hpp"
+#include "track/hologram.hpp"
+#include "util/circular.hpp"
+
+using namespace tagwatch;
+
+namespace {
+
+/// The fingertip trajectory: letter "C" drawn as a 3/4 circle arc,
+/// 15 cm radius, one stroke in ~2 s, repeated.
+class LetterC final : public sim::MotionModel {
+ public:
+  util::Vec3 position(util::SimTime t) const override {
+    const double stroke_s = 2.0;
+    const double phase = std::fmod(util::to_seconds(t), stroke_s) / stroke_s;
+    // Sweep from 45° to 315° (the C opening faces +x).
+    const double angle = (0.25 + 1.5 * phase) * std::numbers::pi;
+    return {0.15 * std::cos(angle), 0.15 * std::sin(angle), 0.0};
+  }
+  bool is_mobile() const override { return true; }
+};
+
+/// 21×21 ASCII raster of estimates within ±0.25 m.
+void render(const std::vector<track::TrackEstimate>& estimates) {
+  std::array<std::array<char, 21>, 21> grid;
+  for (auto& row : grid) row.fill('.');
+  for (const auto& est : estimates) {
+    const int col = static_cast<int>((est.position.x + 0.25) / 0.5 * 20.0);
+    const int row = static_cast<int>((0.25 - est.position.y) / 0.5 * 20.0);
+    if (col >= 0 && col < 21 && row >= 0 && row < 21) {
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = '#';
+    }
+  }
+  for (const auto& row : grid) {
+    std::printf("  %.*s\n", 21, row.data());
+  }
+}
+
+std::vector<track::TrackEstimate> run(bool rate_adaptive,
+                                      std::size_t bystander_tags,
+                                      double& irr_out) {
+  sim::World world;
+  util::Rng rng(27);
+
+  const auto finger = std::make_shared<LetterC>();
+  sim::SimTag tag;
+  tag.epc = util::Epc::random(rng);
+  tag.motion = finger;
+  tag.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+  const util::Epc finger_epc = tag.epc;
+  world.add_tag(std::move(tag));
+  for (std::size_t i = 0; i < bystander_tags; ++i) {
+    sim::SimTag t;
+    t.epc = util::Epc::random(rng);
+    t.motion = std::make_shared<sim::StaticMotion>(
+        util::Vec3{rng.uniform(-2, 2), rng.uniform(-2, 2), 0.0});
+    t.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    world.add_tag(std::move(t));
+  }
+
+  const rf::ChannelPlan plan = rf::ChannelPlan::single(920.625e6);
+  rf::RfChannel channel(plan);
+  std::vector<rf::Antenna> antennas{{1, {-5, -5, 0}, 8.0},
+                                    {2, {5, -5, 0}, 8.0},
+                                    {3, {-5, 5, 0}, 8.0},
+                                    {4, {5, 5, 0}, 8.0}};
+  llrp::SimReaderClient client(
+      gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+      gen2::ReaderConfig{}, world, channel, antennas, 28);
+
+  core::TagwatchConfig cfg;
+  cfg.mode = rate_adaptive ? core::ScheduleMode::kGreedyCover
+                           : core::ScheduleMode::kReadAll;
+  cfg.phase2_duration = util::sec(2);  // one stroke per Phase II
+  core::TagwatchController ctl(cfg, client);
+
+  std::vector<rf::TagReading> finger_readings;
+  ctl.set_read_listener([&](const rf::TagReading& r) {
+    if (r.epc == finger_epc) finger_readings.push_back(r);
+  });
+
+  ctl.run_cycles(4);  // warm-up
+  finger_readings.clear();
+  const util::SimTime t0 = client.now();
+  ctl.run_cycles(3);
+  irr_out = static_cast<double>(finger_readings.size()) /
+            util::to_seconds(client.now() - t0);
+
+  // Track stroke by stroke: at each 2 s boundary the fingertip teleports
+  // from the stroke end back to the start, which would otherwise defeat
+  // the tracker's continuity assumption.
+  std::vector<track::TrackEstimate> estimates;
+  std::vector<rf::TagReading> stroke;
+  const auto flush = [&] {
+    if (stroke.size() < 4) {
+      stroke.clear();
+      return;
+    }
+    track::TrackerConfig tcfg;
+    tcfg.min_x = -0.3;
+    tcfg.max_x = 0.3;
+    tcfg.min_y = -0.3;
+    tcfg.max_y = 0.3;
+    tcfg.initial_hint = finger->position(stroke.front().timestamp);
+    track::HologramTracker tracker(tcfg, antennas, plan);
+    for (const auto& est : tracker.track(stroke)) estimates.push_back(est);
+    stroke.clear();
+  };
+  std::int64_t current_stroke = -1;
+  for (const auto& r : finger_readings) {
+    const auto stroke_index =
+        static_cast<std::int64_t>(util::to_seconds(r.timestamp) / 2.0);
+    if (stroke_index != current_stroke) {
+      flush();
+      current_stroke = stroke_index;
+    }
+    stroke.push_back(r);
+  }
+  flush();
+  return estimates;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Air writing: a fingertip tag draws the letter 'C' "
+              "(15 cm arc, 2 s per stroke)\namong 30 stationary tags.\n");
+  for (const bool adaptive : {false, true}) {
+    double irr = 0.0;
+    const auto estimates = run(adaptive, 30, irr);
+    std::printf("\n--- %s: %.0f Hz on the fingertip, %zu stroke samples ---\n",
+                adaptive ? "tagwatch" : "read-all", irr, estimates.size());
+    render(estimates);
+  }
+  std::printf("\n(the paper's §1 cites RF-IDraw [27]: writing in the air "
+              "needs exactly this sampling rate)\n");
+  return 0;
+}

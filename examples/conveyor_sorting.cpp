@@ -1,0 +1,113 @@
+// Conveyor sorting gate (the paper's §2.4 motivation, made interactive).
+//
+// A TrackPoint-style gate reads parcels riding a conveyor while sorted
+// parcels parked near the gate hog the channel.  The example runs the same
+// workload twice — plain read-all vs Tagwatch — and reports how many
+// readings each transiting parcel received while it was inside the read
+// zone.  The paper's requirement is ≥10 reads per transit for reliable
+// localization; read-all misses it once parked tags pile up.
+//
+// Run: ./examples/conveyor_sorting
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "core/tagwatch.hpp"
+#include "util/circular.hpp"
+#include "util/stats.hpp"
+
+using namespace tagwatch;
+
+namespace {
+
+struct Scenario {
+  sim::World world;
+  std::vector<util::Epc> parcels;                    // conveyor transits
+  std::vector<std::pair<util::SimTime, util::SimTime>> windows;  // presence
+};
+
+/// 25 parked parcels near the gate + a parcel entering every 4 s.
+std::unique_ptr<Scenario> build_scenario(util::SimDuration duration) {
+  auto s = std::make_unique<Scenario>();
+  util::Rng rng(99);
+  for (int i = 0; i < 25; ++i) {
+    sim::SimTag tag;
+    tag.epc = util::Epc::random(rng);
+    tag.motion = std::make_shared<sim::StaticMotion>(
+        util::Vec3{rng.uniform(-3, 3), rng.uniform(0.5, 2.5), 0.0});
+    tag.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    s->world.add_tag(std::move(tag));
+  }
+  for (util::SimTime t = util::sec(20); t < util::SimTime{0} + duration;
+       t += util::sec(4)) {
+    sim::SimTag tag;
+    tag.epc = util::Epc::random(rng);
+    // 4 m read zone at 1 m/s: 4 s transit.
+    tag.motion = std::make_shared<sim::LinearConveyor>(
+        util::Vec3{-2.0, 0.0, 0.0}, util::Vec3{1.0, 0.0, 0.0}, t, 4.0);
+    tag.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    tag.arrives = t;
+    tag.departs = t + util::sec(4);
+    s->parcels.push_back(tag.epc);
+    s->windows.emplace_back(t, t + util::sec(4));
+    s->world.add_tag(std::move(tag));
+  }
+  return s;
+}
+
+double run(core::ScheduleMode mode, util::SimDuration duration,
+           std::vector<double>& reads_per_transit) {
+  auto scenario = build_scenario(duration);
+  rf::RfChannel channel(rf::ChannelPlan::single(922.875e6));
+  std::vector<rf::Antenna> antennas{{1, {-1, 0, 2}, 8.0},
+                                    {2, {0, 0, 2}, 8.0},
+                                    {3, {1, 0, 2}, 8.0}};
+  llrp::SimReaderClient client(
+      gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+      gen2::ReaderConfig{}, scenario->world, channel, antennas, 7);
+
+  core::TagwatchConfig config;
+  config.mode = mode;
+  config.phase2_duration = util::sec(2);  // tighter cycles: transits are 4 s
+  core::TagwatchController tagwatch(config, client);
+
+  std::unordered_map<util::Epc, std::size_t> counts;
+  tagwatch.set_read_listener(
+      [&counts](const rf::TagReading& r) { ++counts[r.epc]; });
+
+  while (client.now() < util::SimTime{0} + duration) tagwatch.run_cycle();
+
+  reads_per_transit.clear();
+  for (const auto& epc : scenario->parcels) {
+    reads_per_transit.push_back(static_cast<double>(counts[epc]));
+  }
+  const double served =
+      static_cast<double>(std::count_if(reads_per_transit.begin(),
+                                        reads_per_transit.end(),
+                                        [](double c) { return c >= 10.0; }));
+  return reads_per_transit.empty()
+             ? 0.0
+             : served / static_cast<double>(reads_per_transit.size());
+}
+
+}  // namespace
+
+int main() {
+  const util::SimDuration duration = util::sec(180);
+  std::printf("Conveyor gate: 25 parked parcels + one transit every 4 s\n");
+  std::printf("requirement: >= 10 reads during each 4 s transit\n\n");
+  std::printf("%-10s  %14s  %16s\n", "mode", "median reads", "transits served");
+
+  for (const auto& [mode, name] :
+       {std::pair{core::ScheduleMode::kReadAll, "read-all"},
+        std::pair{core::ScheduleMode::kGreedyCover, "tagwatch"}}) {
+    std::vector<double> reads;
+    const double served = run(mode, duration, reads);
+    std::printf("%-10s  %14.1f  %15.0f%%\n", name,
+                reads.empty() ? 0.0 : util::median(reads), served * 100.0);
+  }
+  std::printf("\nTagwatch promotes each entering parcel to a Phase II target "
+              "after one assessment,\nso transits are read intensively while "
+              "the parked population is throttled.\n");
+  return 0;
+}

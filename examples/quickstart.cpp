@@ -1,0 +1,92 @@
+// Quickstart: the smallest complete Tagwatch deployment.
+//
+// Builds a simulated scene (38 stationary tags + 2 tags on a toy train),
+// connects a Tagwatch controller to the simulated reader, runs a few
+// reading cycles, and prints the per-tag reading rates — demonstrating the
+// paper's headline effect: mobile tags are read an order of magnitude more
+// often once Tagwatch's two-phase loop has converged.
+//
+// Run: ./examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "core/tagwatch.hpp"
+#include "util/circular.hpp"
+
+using namespace tagwatch;
+
+int main() {
+  // 1. A world: 2 mobile tags circling on a toy train track, 38 static.
+  sim::World world;
+  util::Rng rng(2017);
+  std::vector<util::Epc> movers;
+  for (int i = 0; i < 40; ++i) {
+    sim::SimTag tag;
+    tag.epc = util::Epc::random(rng);
+    if (i < 2) {
+      tag.motion = std::make_shared<sim::CircularTrack>(
+          util::Vec3{0.5, 0.5, 0.0}, /*radius=*/0.2, /*speed=*/0.7,
+          /*phase0=*/static_cast<double>(i) * 3.14);
+      movers.push_back(tag.epc);
+    } else {
+      tag.motion = std::make_shared<sim::StaticMotion>(
+          util::Vec3{rng.uniform(-2, 2), rng.uniform(-2, 2), 0.0});
+    }
+    tag.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    world.add_tag(std::move(tag));
+  }
+
+  // 2. A reader: 4 antennas, Gen2 link, simulated RF channel.
+  rf::RfChannel channel(rf::ChannelPlan::single(920.625e6));
+  std::vector<rf::Antenna> antennas{{1, {-5, -5, 0}, 8.0},
+                                    {2, {5, -5, 0}, 8.0},
+                                    {3, {-5, 5, 0}, 8.0},
+                                    {4, {5, 5, 0}, 8.0}};
+  llrp::SimReaderClient client(gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+                               gen2::ReaderConfig{}, world, channel, antennas,
+                               /*seed=*/1);
+
+  // 3. Tagwatch: defaults from the paper (5 s Phase II, ξ=3, K=8, α=0.001).
+  core::TagwatchConfig config;
+  core::TagwatchController tagwatch(config, client);
+
+  // 4. Run 10 cycles; the first few fall back to read-all while the
+  //    immobility models learn, then Phase II narrows to the movers.
+  std::printf("cycle  mode        targets  phase1_reads  phase2_reads\n");
+  std::vector<core::CycleReport> reports = tagwatch.run_cycles(10);
+  for (const auto& r : reports) {
+    std::printf("%5zu  %-10s  %7zu  %12zu  %12zu\n", r.cycle_index,
+                r.read_all_fallback ? "read-all" : "selective",
+                r.targets.size(), r.phase1_readings, r.phase2_readings);
+  }
+
+  // 5. Per-tag IRR over the last 5 cycles.
+  double secs = 0.0;
+  std::unordered_map<util::Epc, std::size_t> counts;
+  for (std::size_t c = 5; c < reports.size(); ++c) {
+    secs += util::to_seconds(reports[c].phase2_duration);
+    for (const auto& [epc, n] : reports[c].phase2_counts) counts[epc] += n;
+  }
+  const auto is_mover = [&movers](const util::Epc& e) {
+    return std::find(movers.begin(), movers.end(), e) != movers.end();
+  };
+  double mover_irr = 0.0, static_irr = 0.0;
+  std::size_t static_tags = 0;
+  for (const auto& tag : world.tags()) {
+    const double irr =
+        static_cast<double>(counts[tag.epc]) / std::max(secs, 1e-9);
+    if (is_mover(tag.epc)) {
+      mover_irr += irr / 2.0;
+    } else {
+      static_irr += irr;
+      ++static_tags;
+    }
+  }
+  static_irr /= static_cast<double>(static_tags);
+  std::printf("\nPhase II IRR, averaged over the last 5 cycles:\n");
+  std::printf("  mobile tags : %6.1f Hz each\n", mover_irr);
+  std::printf("  static tags : %6.1f Hz each\n", static_irr);
+  std::printf("  (the paper's Fig. 15 reports ~47 Hz vs ~13 Hz read-all for "
+              "the 2-of-40 case)\n");
+  return 0;
+}

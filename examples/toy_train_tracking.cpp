@@ -1,0 +1,126 @@
+// Toy-train tracking (the paper's Fig. 1 demo as a runnable program).
+//
+// A tag rides a toy train on a circular track (r = 20 cm, 0.7 m/s) while
+// stationary tags compete for the channel.  The program recovers the
+// train's trajectory with the hologram tracker under traditional reading
+// and under Tagwatch's rate-adaptive reading, and prints the mean tracking
+// error for 0, 2, and 4 stationary companions.
+//
+// Run: ./examples/toy_train_tracking
+#include <cstdio>
+#include <memory>
+
+#include "core/tagwatch.hpp"
+#include "track/hologram.hpp"
+#include "util/stats.hpp"
+#include "util/circular.hpp"
+
+using namespace tagwatch;
+
+namespace {
+
+struct Result {
+  double irr_hz;
+  track::TrackingAccuracy accuracy;
+};
+
+Result run_case(std::size_t stationary, bool rate_adaptive) {
+  sim::World world;
+  util::Rng rng(42);
+
+  const auto train_motion =
+      std::make_shared<sim::CircularTrack>(util::Vec3{0, 0, 0}, 0.2, 0.7);
+  sim::SimTag train_tag;
+  train_tag.epc = util::Epc::random(rng);
+  train_tag.motion = train_motion;
+  train_tag.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+  const util::Epc train_epc = train_tag.epc;
+  world.add_tag(std::move(train_tag));
+
+  for (std::size_t i = 0; i < stationary; ++i) {
+    sim::SimTag tag;
+    tag.epc = util::Epc::random(rng);
+    // Companions placed right beside the track.
+    tag.motion = std::make_shared<sim::StaticMotion>(
+        util::Vec3{0.35 * std::cos(1.57 * static_cast<double>(i)),
+                   0.35 * std::sin(1.57 * static_cast<double>(i)), 0.0});
+    tag.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    world.add_tag(std::move(tag));
+  }
+
+  const rf::ChannelPlan plan = rf::ChannelPlan::single(920.625e6);
+  rf::RfChannel channel(plan);
+  std::vector<rf::Antenna> antennas{{1, {-5, -5, 0}, 8.0},
+                                    {2, {5, -5, 0}, 8.0},
+                                    {3, {-5, 5, 0}, 8.0},
+                                    {4, {5, 5, 0}, 8.0}};
+  llrp::SimReaderClient client(
+      gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+      gen2::ReaderConfig{}, world, channel, antennas, 5);
+
+  core::TagwatchConfig config;
+  config.mode = rate_adaptive ? core::ScheduleMode::kGreedyCover
+                              : core::ScheduleMode::kReadAll;
+  core::TagwatchController tagwatch(config, client);
+
+  std::vector<rf::TagReading> train_readings;
+  tagwatch.set_read_listener([&](const rf::TagReading& r) {
+    if (r.epc == train_epc) train_readings.push_back(r);
+  });
+
+  // Warm-up cycles let the immobility models converge, then measure.
+  // Each cycle is tracked as its own segment with a known starting fix,
+  // exactly like the paper's application study.
+  tagwatch.run_cycles(4);
+  Result result;
+  util::RunningStats errors;
+  std::size_t reads = 0;
+  double secs = 0.0;
+  std::size_t estimates = 0;
+  for (int segment = 0; segment < 4; ++segment) {
+    train_readings.clear();
+    const util::SimTime t0 = client.now();
+    tagwatch.run_cycles(1);
+    secs += util::to_seconds(client.now() - t0);
+    reads += train_readings.size();
+    if (train_readings.empty()) continue;
+
+    track::TrackerConfig tcfg;
+    tcfg.min_x = -0.5;
+    tcfg.max_x = 0.5;
+    tcfg.min_y = -0.5;
+    tcfg.max_y = 0.5;
+    tcfg.initial_hint =
+        train_motion->position(train_readings.front().timestamp);
+    track::HologramTracker tracker(tcfg, antennas, plan);
+    for (const auto& est : tracker.track(train_readings)) {
+      errors.add(util::distance(est.position, train_motion->position(est.time)));
+      ++estimates;
+    }
+  }
+  result.irr_hz = static_cast<double>(reads) / secs;
+  result.accuracy.mean_error_m = errors.mean();
+  result.accuracy.stddev_error_m = errors.stddev();
+  result.accuracy.estimates = estimates;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Tracking a tagged toy train (r = 20 cm, 0.7 m/s)\n");
+  std::printf("%-22s  %10s  %18s\n", "case", "IRR (Hz)", "mean error (cm)");
+  for (const std::size_t stationary : {0u, 2u, 4u}) {
+    const Result plain = run_case(stationary, /*rate_adaptive=*/false);
+    std::printf("(1+%zu) traditional     %10.1f  %12.1f +- %.1f\n", stationary,
+                plain.irr_hz, plain.accuracy.mean_error_m * 100.0,
+                plain.accuracy.stddev_error_m * 100.0);
+  }
+  const Result adaptive = run_case(4, /*rate_adaptive=*/true);
+  std::printf("(1+4) rate-adaptive   %10.1f  %12.1f +- %.1f\n",
+              adaptive.irr_hz, adaptive.accuracy.mean_error_m * 100.0,
+              adaptive.accuracy.stddev_error_m * 100.0);
+  std::printf("\nPaper Fig. 1: 1.8 cm (1+0) -> 10.6 cm (1+4) traditional; "
+              "3.34 cm with rate-adaptive reading.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "core/assessor.hpp"
+
+#include <algorithm>
+
+namespace tagwatch::core {
+
+MotionAssessor::MotionAssessor(AssessorConfig config)
+    : config_(std::move(config)) {}
+
+void MotionAssessor::begin_window() {
+  window_open_ = true;
+  for (auto& [epc, state] : tags_) {
+    state.window_readings = 0;
+    state.moving_votes = 0;
+  }
+}
+
+void MotionAssessor::ingest(const rf::TagReading& reading) {
+  auto it = tags_.find(reading.epc);
+  if (it == tags_.end()) {
+    TagState state;
+    state.detector = make_detector(config_.detector_kind, config_.detector);
+    it = tags_.emplace(reading.epc, std::move(state)).first;
+  }
+  TagState& state = it->second;
+  const MotionVerdict verdict = state.detector->update(reading);
+  state.last_seen = reading.timestamp;
+  ++state.total_readings;
+  if (window_open_) {
+    ++state.window_readings;
+    if (verdict == MotionVerdict::kMoving) ++state.moving_votes;
+  }
+}
+
+std::vector<TagAssessment> MotionAssessor::assess(util::SimTime now) {
+  window_open_ = false;
+  std::vector<TagAssessment> out;
+  for (auto it = tags_.begin(); it != tags_.end();) {
+    TagState& state = it->second;
+    if (now - state.last_seen > config_.forget_after) {
+      // §4.3: a tag gone for a long while has its models removed; if it
+      // returns it is treated as new (and initially presumed mobile).
+      it = tags_.erase(it);
+      continue;
+    }
+    if (state.window_readings > 0) {
+      TagAssessment a;
+      a.epc = it->first;
+      a.window_readings = state.window_readings;
+      a.moving_votes = state.moving_votes;
+      a.mobile = state.moving_votes >= config_.mobile_vote_threshold;
+      out.push_back(std::move(a));
+    }
+    ++it;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TagAssessment& a, const TagAssessment& b) {
+              return a.epc < b.epc;
+            });
+  return out;
+}
+
+std::vector<util::Epc> MotionAssessor::mobile_tags(util::SimTime now) {
+  std::vector<util::Epc> mobile;
+  for (auto& a : assess(now)) {
+    if (a.mobile) mobile.push_back(a.epc);
+  }
+  return mobile;
+}
+
+const MotionDetector* MotionAssessor::detector_for(const util::Epc& epc) const {
+  const auto it = tags_.find(epc);
+  return it == tags_.end() ? nullptr : it->second.detector.get();
+}
+
+}  // namespace tagwatch::core

@@ -1,0 +1,83 @@
+// Phase I manager: per-tag motion assessment over inventory readings.
+//
+// Owns one MotionDetector per tag, routes readings to it, and aggregates
+// per-assessment-window verdicts into the mobile-tag set handed to Phase II.
+// Also implements the §4.3 "reading exceptions" policy: state for tags that
+// leave the field for a long time is dropped; unknown tags are admitted (and
+// initially presumed mobile) on their first reading.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/detectors.hpp"
+#include "rf/measurement.hpp"
+#include "util/epc.hpp"
+#include "util/sim_time.hpp"
+
+namespace tagwatch::core {
+
+/// Assessor tuning.
+struct AssessorConfig {
+  DetectorKind detector_kind = DetectorKind::kPhaseMog;
+  DetectorConfig detector = {};
+  /// Tags unseen for longer than this are forgotten (models removed).
+  util::SimDuration forget_after = util::sec(60);
+  /// A tag is assessed mobile when at least this many of its readings in
+  /// the window were flagged as motion.  1 maximizes sensitivity (a single
+  /// unexplained phase on any antenna/channel marks the tag).
+  std::size_t mobile_vote_threshold = 1;
+};
+
+/// Per-tag assessment summary for one window.
+struct TagAssessment {
+  util::Epc epc;
+  std::size_t window_readings = 0;
+  std::size_t moving_votes = 0;
+  bool mobile = false;
+};
+
+/// Phase-I motion assessor.
+class MotionAssessor {
+ public:
+  explicit MotionAssessor(AssessorConfig config = {});
+
+  /// Clears window vote counters; call at the start of each Phase I.
+  void begin_window();
+
+  /// Feeds one reading (from either phase): updates that tag's detector.
+  /// Readings between begin_window/assess contribute votes; readings at
+  /// other times only train the models (§4.3 "when do we learn").
+  void ingest(const rf::TagReading& reading);
+
+  /// Ends the window: returns per-tag assessments for tags read in the
+  /// window and evicts tags unseen since `now - forget_after`.
+  std::vector<TagAssessment> assess(util::SimTime now);
+
+  /// EPCs assessed mobile in the last window (convenience over assess()).
+  std::vector<util::Epc> mobile_tags(util::SimTime now);
+
+  /// Tags currently tracked (have detector state).
+  std::size_t tracked_count() const noexcept { return tags_.size(); }
+
+  /// The detector for a tag, or nullptr (diagnostics/tests).
+  const MotionDetector* detector_for(const util::Epc& epc) const;
+
+  const AssessorConfig& config() const noexcept { return config_; }
+
+ private:
+  struct TagState {
+    std::unique_ptr<MotionDetector> detector;
+    util::SimTime last_seen{0};
+    std::size_t window_readings = 0;
+    std::size_t moving_votes = 0;
+    std::size_t total_readings = 0;
+  };
+
+  AssessorConfig config_;
+  bool window_open_ = false;
+  std::unordered_map<util::Epc, TagState> tags_;
+};
+
+}  // namespace tagwatch::core

@@ -1,0 +1,101 @@
+#include "core/bitmask.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tagwatch::core {
+
+std::string Bitmask::to_string() const {
+  return "S(" + mask.to_binary_string() + ", " + std::to_string(pointer) +
+         ", " + std::to_string(mask.size()) + ")";
+}
+
+BitmaskIndex::BitmaskIndex(std::vector<util::Epc> scene) : scene_(std::move(scene)) {
+  if (scene_.empty()) throw std::invalid_argument("BitmaskIndex: empty scene");
+  std::sort(scene_.begin(), scene_.end());
+  scene_.erase(std::unique(scene_.begin(), scene_.end()), scene_.end());
+
+  epc_bits_ = scene_.front().size();
+  for (const auto& epc : scene_) {
+    if (epc.size() != epc_bits_) {
+      throw std::invalid_argument("BitmaskIndex: mixed EPC lengths");
+    }
+  }
+  position_.reserve(scene_.size());
+  for (std::size_t i = 0; i < scene_.size(); ++i) {
+    position_.emplace(scene_[i], i);
+  }
+
+  ones_.assign(epc_bits_, util::IndicatorBitmap(scene_.size()));
+  zeros_.assign(epc_bits_, util::IndicatorBitmap(scene_.size()));
+  for (std::size_t i = 0; i < scene_.size(); ++i) {
+    for (std::size_t b = 0; b < epc_bits_; ++b) {
+      (scene_[i].bits().bit(b) ? ones_[b] : zeros_[b]).set(i);
+    }
+  }
+}
+
+util::IndicatorBitmap BitmaskIndex::bitmap_of(
+    const std::vector<util::Epc>& subset) const {
+  util::IndicatorBitmap out(scene_.size());
+  for (const auto& epc : subset) {
+    const auto it = position_.find(epc);
+    if (it != position_.end()) out.set(it->second);
+  }
+  return out;
+}
+
+std::vector<util::Epc> BitmaskIndex::epcs_of(
+    const util::IndicatorBitmap& bitmap) const {
+  std::vector<util::Epc> out;
+  for (std::size_t i = 0; i < bitmap.size() && i < scene_.size(); ++i) {
+    if (bitmap.test(i)) out.push_back(scene_[i]);
+  }
+  return out;
+}
+
+std::vector<BitmaskCandidate> BitmaskIndex::candidates_for(
+    const util::IndicatorBitmap& targets) const {
+  if (targets.size() != scene_.size()) {
+    throw std::invalid_argument("BitmaskIndex::candidates_for: bitmap size");
+  }
+  std::vector<BitmaskCandidate> out;
+  // Merge rows with identical coverage (Fig. 10's table preprocessing):
+  // keep the first bitmask seen for each distinct bitmap.
+  std::unordered_map<util::IndicatorBitmap, std::size_t> seen;
+
+  for (std::size_t t = 0; t < scene_.size(); ++t) {
+    if (!targets.test(t)) continue;
+    const util::Epc& anchor = scene_[t];
+    for (std::size_t p = 0; p < epc_bits_; ++p) {
+      util::IndicatorBitmap cover(scene_.size());
+      // Start from "all tags" and narrow one bit at a time.
+      for (std::size_t i = 0; i < scene_.size(); ++i) cover.set(i);
+      for (std::size_t l = 1; p + l <= epc_bits_; ++l) {
+        const std::size_t b = p + l - 1;
+        const util::IndicatorBitmap& bitset =
+            anchor.bits().bit(b) ? ones_[b] : zeros_[b];
+        // cover &= bitset, via subtract of the complement:
+        const util::IndicatorBitmap& complement =
+            anchor.bits().bit(b) ? zeros_[b] : ones_[b];
+        cover.subtract(complement);
+        (void)bitset;
+
+        if (!seen.contains(cover)) {
+          BitmaskCandidate cand;
+          cand.bitmask.pointer = static_cast<std::uint32_t>(p);
+          cand.bitmask.mask = anchor.bits().substring(p, l);
+          cand.coverage = cover;
+          seen.emplace(cover, out.size());
+          out.push_back(std::move(cand));
+        }
+        // A singleton row cannot change with a longer mask (it always
+        // contains the anchor): stop extending.
+        if (cover.count() <= 1) break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tagwatch::core

@@ -1,0 +1,111 @@
+#include "core/detectors.hpp"
+
+#include <cmath>
+
+#include "util/circular.hpp"
+
+namespace tagwatch::core {
+
+std::unique_ptr<MotionDetector> make_detector(DetectorKind kind,
+                                              const DetectorConfig& config) {
+  switch (kind) {
+    case DetectorKind::kPhaseMog:
+      return std::make_unique<MogDetector>(true, config.phase_mog,
+                                           config.keying);
+    case DetectorKind::kRssMog:
+      return std::make_unique<MogDetector>(false, config.rss_mog,
+                                           config.keying);
+    case DetectorKind::kPhaseDiff:
+      return std::make_unique<DiffDetector>(true,
+                                            config.phase_diff_threshold_rad);
+    case DetectorKind::kRssDiff:
+      return std::make_unique<DiffDetector>(false, config.rss_diff_threshold_db);
+    case DetectorKind::kHybridAnd:
+      return std::make_unique<HybridDetector>(true, config);
+    case DetectorKind::kHybridOr:
+      return std::make_unique<HybridDetector>(false, config);
+  }
+  return nullptr;  // unreachable
+}
+
+MogDetector::MogDetector(bool use_phase, ImmobilityConfig config,
+                         MogKeying keying)
+    : use_phase_(use_phase), config_(config), keying_(keying) {}
+
+MotionVerdict MogDetector::update(const rf::TagReading& reading) {
+  const Key key = key_of(reading);
+  auto it = models_.find(key);
+  if (it == models_.end()) {
+    it = models_
+             .emplace(key, ImmobilityModel(config_, use_phase_
+                                                        ? Metric::kCircular
+                                                        : Metric::kLinear))
+             .first;
+  }
+  return it->second.observe(value_of(reading));
+}
+
+MotionVerdict MogDetector::classify(const rf::TagReading& reading) const {
+  const auto it = models_.find(key_of(reading));
+  // An unseen (antenna, channel) pair has no immobility evidence: per the
+  // paper's initialization, an unexplained reading counts as motion.
+  if (it == models_.end()) return MotionVerdict::kMoving;
+  return it->second.classify(value_of(reading));
+}
+
+const ImmobilityModel* MogDetector::model_for(rf::AntennaId antenna,
+                                              std::size_t channel) const {
+  const auto it = models_.find(Key{keying_.per_antenna ? antenna : rf::AntennaId{0},
+                                   keying_.per_channel ? channel : std::size_t{0}});
+  return it == models_.end() ? nullptr : &it->second;
+}
+
+HybridDetector::HybridDetector(bool require_both, const DetectorConfig& config)
+    : require_both_(require_both),
+      phase_(true, config.phase_mog, config.keying),
+      rss_(false, config.rss_mog, config.keying) {}
+
+MotionVerdict HybridDetector::fuse(MotionVerdict phase,
+                                   MotionVerdict rss) const {
+  const bool phase_moving = phase == MotionVerdict::kMoving;
+  const bool rss_moving = rss == MotionVerdict::kMoving;
+  const bool moving =
+      require_both_ ? (phase_moving && rss_moving) : (phase_moving || rss_moving);
+  return moving ? MotionVerdict::kMoving : MotionVerdict::kStationary;
+}
+
+MotionVerdict HybridDetector::update(const rf::TagReading& reading) {
+  return fuse(phase_.update(reading), rss_.update(reading));
+}
+
+MotionVerdict HybridDetector::classify(const rf::TagReading& reading) const {
+  return fuse(phase_.classify(reading), rss_.classify(reading));
+}
+
+DiffDetector::DiffDetector(bool use_phase, double threshold)
+    : use_phase_(use_phase), threshold_(threshold) {}
+
+std::optional<MotionVerdict> DiffDetector::verdict_if_seen(
+    const rf::TagReading& r) const {
+  const auto it = last_value_.find(Key{r.antenna, r.channel});
+  if (it == last_value_.end()) return std::nullopt;
+  const double v = value_of(r);
+  const double dist = use_phase_ ? util::circular_distance(v, it->second)
+                                 : std::abs(v - it->second);
+  return dist > threshold_ ? MotionVerdict::kMoving : MotionVerdict::kStationary;
+}
+
+MotionVerdict DiffDetector::update(const rf::TagReading& reading) {
+  // First reading on a pair: no baseline yet — treat as moving, like the
+  // MoG detectors treat unexplained readings.
+  const MotionVerdict verdict =
+      verdict_if_seen(reading).value_or(MotionVerdict::kMoving);
+  last_value_[Key{reading.antenna, reading.channel}] = value_of(reading);
+  return verdict;
+}
+
+MotionVerdict DiffDetector::classify(const rf::TagReading& reading) const {
+  return verdict_if_seen(reading).value_or(MotionVerdict::kMoving);
+}
+
+}  // namespace tagwatch::core

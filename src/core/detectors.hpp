@@ -1,0 +1,144 @@
+// Motion detectors over tag readings (paper §7.1's four compared methods).
+//
+//   Phase-MoG   — Gaussian-mixture immobility over RF phase (Tagwatch)
+//   Phase-diff  — naive: compare each phase with the previous one
+//   RSS-MoG     — the mixture model applied to RSSI instead of phase
+//   RSS-diff    — naive differencing on RSSI
+//
+// Phase (and RSSI, through multipath) is a function of the antenna and the
+// frequency channel, so all detectors keep independent state per
+// (antenna, channel) pair and only ever compare readings within a pair.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "core/immobility.hpp"
+#include "rf/measurement.hpp"
+
+namespace tagwatch::core {
+
+/// Which detection method to use.
+enum class DetectorKind {
+  kPhaseMog,
+  kPhaseDiff,
+  kRssMog,
+  kRssDiff,
+  /// Fusion extensions (beyond the paper's four): combine the phase-MoG
+  /// and RSS-MoG verdicts per reading.
+  kHybridAnd,  ///< Moving only if BOTH flag motion (suppresses multipath FPs).
+  kHybridOr,   ///< Moving if EITHER flags motion (maximum sensitivity).
+};
+
+/// How MoG model state is keyed.  Phase is physically incomparable across
+/// antennas and frequency channels, so the default keeps independent
+/// models per (antenna, channel); pooling exists to quantify exactly how
+/// much that separation matters (bench_ablation_gmm).
+struct MogKeying {
+  bool per_antenna = true;
+  bool per_channel = true;
+};
+
+/// Unified tuning for all detector kinds.
+struct DetectorConfig {
+  /// Mixture parameters for the MoG detectors (phase scale).
+  ImmobilityConfig phase_mog = {};
+  /// Mixture parameters for RSS-MoG (dB scale).
+  ImmobilityConfig rss_mog = ImmobilityConfig::for_rss();
+  /// Motion threshold for Phase-diff (radians of minimum distance).
+  double phase_diff_threshold_rad = 0.3;
+  /// Motion threshold for RSS-diff (dB).
+  double rss_diff_threshold_db = 2.0;
+  /// Model-bank keying for the MoG detectors.
+  MogKeying keying = {};
+};
+
+/// Per-tag motion detector: consumes that tag's readings, reports verdicts.
+class MotionDetector {
+ public:
+  virtual ~MotionDetector() = default;
+
+  /// Feeds one reading of this detector's tag; returns the verdict for it
+  /// and updates internal state.
+  virtual MotionVerdict update(const rf::TagReading& reading) = 0;
+
+  /// Verdict for a hypothetical reading without updating state.
+  virtual MotionVerdict classify(const rf::TagReading& reading) const = 0;
+};
+
+/// Creates a detector of the given kind.
+std::unique_ptr<MotionDetector> make_detector(DetectorKind kind,
+                                              const DetectorConfig& config = {});
+
+/// MoG detector (phase or RSS): one ImmobilityModel per (antenna, channel)
+/// under the default keying.
+class MogDetector final : public MotionDetector {
+ public:
+  /// `use_phase` selects the observed scalar and distance metric.
+  MogDetector(bool use_phase, ImmobilityConfig config, MogKeying keying = {});
+
+  MotionVerdict update(const rf::TagReading& reading) override;
+  MotionVerdict classify(const rf::TagReading& reading) const override;
+
+  /// Model bank access for diagnostics/tests.
+  const ImmobilityModel* model_for(rf::AntennaId antenna,
+                                   std::size_t channel) const;
+  std::size_t model_count() const noexcept { return models_.size(); }
+
+ private:
+  using Key = std::pair<rf::AntennaId, std::size_t>;
+  Key key_of(const rf::TagReading& reading) const {
+    return {keying_.per_antenna ? reading.antenna : rf::AntennaId{0},
+            keying_.per_channel ? reading.channel : std::size_t{0}};
+  }
+  double value_of(const rf::TagReading& reading) const {
+    return use_phase_ ? reading.phase_rad : reading.rssi_dbm;
+  }
+
+  bool use_phase_;
+  ImmobilityConfig config_;
+  MogKeying keying_;
+  std::map<Key, ImmobilityModel> models_;
+};
+
+/// Naive differencing detector: motion iff the value changed by more than a
+/// threshold since the previous reading on the same (antenna, channel).
+class DiffDetector final : public MotionDetector {
+ public:
+  DiffDetector(bool use_phase, double threshold);
+
+  MotionVerdict update(const rf::TagReading& reading) override;
+  MotionVerdict classify(const rf::TagReading& reading) const override;
+
+ private:
+  using Key = std::pair<rf::AntennaId, std::size_t>;
+  double value_of(const rf::TagReading& reading) const {
+    return use_phase_ ? reading.phase_rad : reading.rssi_dbm;
+  }
+  std::optional<MotionVerdict> verdict_if_seen(const rf::TagReading& r) const;
+
+  bool use_phase_;
+  double threshold_;
+  std::map<Key, double> last_value_;
+};
+
+/// Fusion of the phase-MoG and RSS-MoG verdicts (extension detectors).
+class HybridDetector final : public MotionDetector {
+ public:
+  /// `require_both`: true = AND fusion, false = OR fusion.
+  HybridDetector(bool require_both, const DetectorConfig& config);
+
+  MotionVerdict update(const rf::TagReading& reading) override;
+  MotionVerdict classify(const rf::TagReading& reading) const override;
+
+ private:
+  MotionVerdict fuse(MotionVerdict phase, MotionVerdict rss) const;
+
+  bool require_both_;
+  MogDetector phase_;
+  MogDetector rss_;
+};
+
+}  // namespace tagwatch::core

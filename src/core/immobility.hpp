@@ -1,0 +1,137 @@
+// Self-learning immobility model (paper §4.1–4.2).
+//
+// Each tag's stationary appearance is modeled by a stack of up to K
+// Gaussian components over its RF phase (or RSS).  A component corresponds
+// to one multipath superposition state (one Fresnel-zone configuration of
+// the environment, Fig. 7); the Stauffer–Grimson-style online update keeps
+// the stack adapted to environmental change without offline training:
+//
+//   matched (stationary):  w ← (1-α)w + α
+//                          μ ← (1-ρ)μ + ρθ        (shortest-arc for phase)
+//                          σ ← sqrt((1-ρ)σ² + ρ(θ-μ)²)
+//   unmatched components:  w ← (1-α)w
+//   no match (moving):     push {μ=θ, large σ, tiny w}, evicting the
+//                          lowest-priority component (r = w/σ) if full.
+//
+// Two standard refinements from the background-modeling literature are
+// applied (documented deviations from the paper's abbreviated pseudo-code,
+// which degenerates as written because a fresh σ≈2π component matches every
+// subsequent value):
+//   1. warm-up: a young component uses ρ = 1/(count+1) (running average) so
+//      its μ/σ converge to sample statistics quickly, then switches to the
+//      slow rate ρ = α·η̂;
+//   2. trust: an observation is declared *stationary* only when the matched
+//      component is mature — weight ≥ trust_weight AND σ ≤ trust_stddev —
+//      i.e. a persistent, tight multipath state.  Immature matches still
+//      update the mixture but classify as moving, which realizes the
+//      paper's "initially assume all tags are in motion, then immediately
+//      learn their immobility".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tagwatch::core {
+
+/// Distance semantics for the observed scalar.
+enum class Metric {
+  kCircular,  ///< mod-2π minimum distance (RF phase).
+  kLinear,    ///< absolute difference (RSS in dBm).
+};
+
+/// Tuning parameters (paper §6 defaults: α=0.001, K=8, ξ=3).
+struct ImmobilityConfig {
+  double learning_rate = 0.001;   ///< α
+  std::size_t max_components = 8; ///< K
+  double match_threshold = 3.0;   ///< ξ (match if |θ-μ| < ξσ)
+  /// σ for a freshly pushed component.  Also caps σ during updates: an
+  /// immobility state is by definition tight, so a component absorbing
+  /// far-fringe samples must not balloon into a catch-all.
+  double initial_stddev = 0.35;
+  double initial_weight = 1e-4;   ///< w for a freshly pushed component
+  /// Floor on σ during matching so that a run of identical quantized values
+  /// cannot collapse the acceptance band to zero width.
+  double min_match_stddev = 0.03;
+  /// Warm-up length: below this many absorbed samples a component estimates
+  /// μ/σ by running average instead of the slow exponential update.
+  std::size_t warmup_count = 40;
+  /// Maturity requirements for a match to count as immobility evidence: the
+  /// component must have absorbed at least trust_count samples, be tight
+  /// (σ ≤ trust_stddev), and carry at least trust_weight.
+  std::size_t trust_count = 8;
+  double trust_weight = 0.002;
+  double trust_stddev = 0.30;
+
+  /// Defaults scaled for RSS (dBm) instead of phase (radians).
+  static ImmobilityConfig for_rss() {
+    ImmobilityConfig c;
+    c.initial_stddev = 4.0;
+    c.min_match_stddev = 0.4;
+    c.trust_stddev = 2.5;
+    return c;
+  }
+};
+
+/// One Gaussian component of the mixture.
+struct GaussianComponent {
+  double weight = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;  ///< Samples absorbed (drives warm-up).
+
+  /// Priority r = w/σ: high weight and low spread ranks first (§4.2).
+  double priority() const noexcept {
+    return stddev > 0.0 ? weight / stddev : weight / 1e-9;
+  }
+};
+
+/// Classification of one observation.
+enum class MotionVerdict {
+  kStationary,  ///< Matched a trusted immobility component.
+  kMoving,      ///< Matched nothing trusted: state change or new tag.
+};
+
+/// The per-(tag, antenna, channel) Gaussian-mixture immobility model.
+class ImmobilityModel {
+ public:
+  explicit ImmobilityModel(ImmobilityConfig config = {},
+                           Metric metric = Metric::kCircular);
+
+  /// Classifies without learning.
+  MotionVerdict classify(double value) const;
+
+  /// Classifies and then applies the self-learning update (the per-reading
+  /// step of Phase I).  Returns the pre-update classification.
+  MotionVerdict observe(double value);
+
+  /// Learns from `value` without using the verdict (absorbs Phase II
+  /// readings into the model, §4.3 "when do we learn Gaussian models").
+  void learn(double value) { (void)observe(value); }
+
+  /// Components ordered by descending priority (diagnostics/tests).
+  const std::vector<GaussianComponent>& components() const noexcept {
+    return components_;
+  }
+  std::size_t component_count() const noexcept { return components_.size(); }
+  /// True if any component is mature enough to certify immobility.
+  bool has_trusted_component() const noexcept;
+  const ImmobilityConfig& config() const noexcept { return config_; }
+  Metric metric() const noexcept { return metric_; }
+
+ private:
+  double distance(double a, double b) const;
+  double blend(double mean, double value, double rho) const;
+  bool matches(const GaussianComponent& c, double value) const;
+  bool trusted(const GaussianComponent& c) const noexcept;
+  /// Index of the highest-priority matching component, or npos.
+  std::size_t find_match(double value) const;
+  void sort_by_priority();
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  ImmobilityConfig config_;
+  Metric metric_;
+  std::vector<GaussianComponent> components_;
+};
+
+}  // namespace tagwatch::core

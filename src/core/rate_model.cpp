@@ -1,0 +1,55 @@
+#include "core/rate_model.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace tagwatch::core {
+
+InventoryCostModel::InventoryCostModel(double tau0_s, double taubar_s)
+    : tau0_s_(tau0_s), taubar_s_(taubar_s) {
+  if (tau0_s < 0.0 || taubar_s <= 0.0) {
+    throw std::invalid_argument("InventoryCostModel: need tau0 >= 0, taubar > 0");
+  }
+}
+
+InventoryCostModel InventoryCostModel::paper_fit() {
+  return InventoryCostModel(0.019, 0.00018);
+}
+
+double InventoryCostModel::regressor(std::size_t n) {
+  if (n == 0) return 0.0;
+  if (n == 1) return 1.0;
+  const double nd = static_cast<double>(n);
+  return nd * std::numbers::e * std::log(nd);
+}
+
+InventoryCostModel InventoryCostModel::fit(
+    std::span<const std::size_t> tag_counts,
+    std::span<const util::SimDuration> durations) {
+  if (tag_counts.size() != durations.size() || tag_counts.size() < 2) {
+    throw std::invalid_argument("InventoryCostModel::fit: need >= 2 samples");
+  }
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(tag_counts.size());
+  ys.reserve(durations.size());
+  for (std::size_t i = 0; i < tag_counts.size(); ++i) {
+    xs.push_back(regressor(tag_counts[i]));
+    ys.push_back(util::to_seconds(durations[i]));
+  }
+  const util::LinearFit fit = util::fit_line(xs, ys);
+  // A noisy fit can produce a (slightly) negative intercept; clamp to the
+  // physical domain rather than reject, but keep the slope requirement.
+  InventoryCostModel model(std::max(fit.intercept, 0.0),
+                           std::max(fit.slope, 1e-9));
+  model.r_squared_ = fit.r_squared;
+  return model;
+}
+
+double InventoryCostModel::cost_seconds(std::size_t n) const {
+  return tau0_s_ + taubar_s_ * regressor(n);
+}
+
+}  // namespace tagwatch::core

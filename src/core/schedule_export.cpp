@@ -1,0 +1,41 @@
+#include "core/schedule_export.hpp"
+
+#include "llrp/rospec_xml.hpp"
+
+namespace tagwatch::core {
+
+namespace {
+
+std::uint8_t q_for(std::size_t covered) {
+  std::uint8_t q = 0;
+  while ((std::size_t{1} << q) < covered && q < 15) ++q;
+  return q;
+}
+
+}  // namespace
+
+llrp::ROSpec schedule_to_rospec(const Schedule& schedule,
+                                const ScheduleExportOptions& options) {
+  llrp::ROSpec spec;
+  spec.id = options.rospec_id;
+  spec.loops = options.loops;
+  for (const auto& sel : schedule.selections) {
+    llrp::AISpec ai;
+    ai.antenna_indexes = options.antenna_indexes;
+    ai.session = options.session;
+    ai.initial_q = q_for(std::max<std::size_t>(sel.covered_total, 1));
+    ai.stop = llrp::AiSpecStopTrigger::after_rounds(options.rounds_per_bitmask);
+    ai.filters.push_back(llrp::C1G2Filter{gen2::MemBank::kEpc,
+                                          sel.bitmask.pointer,
+                                          sel.bitmask.mask});
+    spec.ai_specs.push_back(std::move(ai));
+  }
+  return spec;
+}
+
+std::string schedule_to_xml(const Schedule& schedule,
+                            const ScheduleExportOptions& options) {
+  return llrp::to_xml(schedule_to_rospec(schedule, options));
+}
+
+}  // namespace tagwatch::core

@@ -1,0 +1,38 @@
+// Conversion of a Phase II schedule into LLRP artifacts.
+//
+// On hardware, Tagwatch configures the reader by sending a ROSpec whose
+// AISpecs carry one C1G2 filter per selected bitmask (paper §6, Fig. 11).
+// These helpers materialize exactly that document from a Schedule, both
+// for the simulated reader and for operators inspecting what would be
+// sent to a physical one.
+#pragma once
+
+#include <string>
+
+#include "core/setcover.hpp"
+#include "llrp/rospec.hpp"
+
+namespace tagwatch::core {
+
+/// Options controlling the generated ROSpec.
+struct ScheduleExportOptions {
+  std::uint32_t rospec_id = 1;
+  gen2::Session session = gen2::Session::kS1;
+  /// Antenna indexes each AISpec cycles through (empty: all antennas).
+  std::vector<std::size_t> antenna_indexes;
+  /// Inventory rounds per bitmask per pass.
+  std::size_t rounds_per_bitmask = 1;
+  /// How many times the reader loops the AISpec list.
+  std::size_t loops = 1;
+};
+
+/// Builds a ROSpec with one AISpec (carrying one C1G2 filter) per selected
+/// bitmask — Fig. 11's "multiple AISpecs" layout, the paper's default.
+llrp::ROSpec schedule_to_rospec(const Schedule& schedule,
+                                const ScheduleExportOptions& options = {});
+
+/// Convenience: the ROSpec serialized as XML (Fig. 11's document form).
+std::string schedule_to_xml(const Schedule& schedule,
+                            const ScheduleExportOptions& options = {});
+
+}  // namespace tagwatch::core

@@ -1,0 +1,77 @@
+#include "core/setcover.hpp"
+
+#include <stdexcept>
+
+namespace tagwatch::core {
+
+Schedule GreedyCoverScheduler::naive_plan(
+    const BitmaskIndex& index, const util::IndicatorBitmap& targets) const {
+  Schedule plan;
+  plan.used_naive_fallback = true;
+  plan.covered_union = util::IndicatorBitmap(index.scene_size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (!targets.test(i)) continue;
+    const util::Epc& epc = index.scene()[i];
+    ScheduledBitmask sel;
+    sel.bitmask.pointer = 0;
+    sel.bitmask.mask = epc.bits();
+    sel.covered_total = 1;
+    sel.covered_targets = 1;
+    plan.selections.push_back(std::move(sel));
+    plan.covered_union.set(i);
+    plan.estimated_cost_s += cost_model_.cost_seconds(1);
+  }
+  return plan;
+}
+
+Schedule GreedyCoverScheduler::plan(const BitmaskIndex& index,
+                                    const util::IndicatorBitmap& targets) const {
+  if (targets.none()) {
+    throw std::invalid_argument("GreedyCoverScheduler::plan: no targets");
+  }
+  const std::vector<BitmaskCandidate> candidates = index.candidates_for(targets);
+
+  Schedule plan;
+  plan.covered_union = util::IndicatorBitmap(index.scene_size());
+  util::IndicatorBitmap remaining = targets;
+
+  while (remaining.any()) {
+    double best_gain = -1.0;
+    std::size_t best = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const std::size_t covered_targets =
+          candidates[i].coverage.and_count(remaining);
+      if (covered_targets == 0) continue;
+      const double cost =
+          cost_model_.cost_seconds(candidates[i].coverage.count());
+      const double gain = static_cast<double>(covered_targets) / cost;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == candidates.size()) {
+      // Unreachable in practice: every target's own full EPC is a candidate.
+      throw std::logic_error("GreedyCoverScheduler: uncoverable target");
+    }
+    const BitmaskCandidate& chosen = candidates[best];
+    ScheduledBitmask sel;
+    sel.bitmask = chosen.bitmask;
+    sel.covered_total = chosen.coverage.count();
+    sel.covered_targets = chosen.coverage.and_count(remaining);
+    plan.selections.push_back(std::move(sel));
+    plan.estimated_cost_s += cost_model_.cost_seconds(chosen.coverage.count());
+    plan.covered_union.merge(chosen.coverage);
+    remaining.subtract(chosen.coverage);
+  }
+
+  // Worst-case guard: if the "optimal" selection costs more than reading
+  // each target individually, take the naive plan (§5.2).
+  Schedule naive = naive_plan(index, targets);
+  if (naive.estimated_cost_s < plan.estimated_cost_s) {
+    return naive;
+  }
+  return plan;
+}
+
+}  // namespace tagwatch::core

@@ -1,0 +1,55 @@
+// Greedy weighted set cover for bitmask selection (paper §5.2–5.3).
+//
+// Minimize Σ C(|S_i|) over selected bitmasks subject to covering every
+// target tag (Eqn. 12).  Each greedy iteration selects the candidate with
+// the highest relative gain R(S_i) = |V_i & V| / C(|V_i|) (Eqn. 13).  The
+// result is compared against the naive plan (one full-EPC bitmask per
+// target); if the naive plan is cheaper, it is used instead — the paper's
+// worst-case guard.
+#pragma once
+
+#include <vector>
+
+#include "core/bitmask.hpp"
+#include "core/rate_model.hpp"
+
+namespace tagwatch::core {
+
+/// One selected bitmask of a schedule.
+struct ScheduledBitmask {
+  Bitmask bitmask;
+  std::size_t covered_total = 0;    ///< |S_i|: all scene tags covered.
+  std::size_t covered_targets = 0;  ///< Targets newly covered at selection.
+};
+
+/// A Phase II reading plan.
+struct Schedule {
+  std::vector<ScheduledBitmask> selections;
+  double estimated_cost_s = 0.0;  ///< Σ C(|S_i|) under the cost model.
+  bool used_naive_fallback = false;
+  /// Scene tags covered by the union of selections (targets + collateral).
+  util::IndicatorBitmap covered_union;
+};
+
+/// Greedy set-cover planner.
+class GreedyCoverScheduler {
+ public:
+  explicit GreedyCoverScheduler(InventoryCostModel cost_model)
+      : cost_model_(cost_model) {}
+
+  /// Plans bitmasks covering all of `targets` over `index`'s scene.
+  /// `targets` must be non-empty.
+  Schedule plan(const BitmaskIndex& index,
+                const util::IndicatorBitmap& targets) const;
+
+  /// The naive plan: one full-EPC bitmask per target (§5.2's worst case).
+  Schedule naive_plan(const BitmaskIndex& index,
+                      const util::IndicatorBitmap& targets) const;
+
+  const InventoryCostModel& cost_model() const noexcept { return cost_model_; }
+
+ private:
+  InventoryCostModel cost_model_;
+};
+
+}  // namespace tagwatch::core

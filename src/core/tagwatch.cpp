@@ -1,0 +1,190 @@
+#include "core/tagwatch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_set>
+
+namespace tagwatch::core {
+
+namespace {
+
+/// Initial Q sized to the expected selected population: f = 2^Q ≈ n.
+std::uint8_t q_for_population(std::size_t n) {
+  std::uint8_t q = 0;
+  while ((std::size_t{1} << q) < n && q < 15) ++q;
+  return q;
+}
+
+}  // namespace
+
+TagwatchController::TagwatchController(TagwatchConfig config,
+                                       llrp::SimReaderClient& client)
+    : config_(std::move(config)), client_(&client),
+      assessor_(config_.assessor) {}
+
+void TagwatchController::deliver(const rf::TagReading& reading, bool in_window,
+                                 CycleReport& report, bool phase2) {
+  (void)in_window;  // The assessor tracks window state internally.
+  assessor_.ingest(reading);
+  history_.record(reading);
+  if (phase2) {
+    ++report.phase2_readings;
+    ++report.phase2_counts[reading.epc];
+  } else {
+    ++report.phase1_readings;
+  }
+  if (listener_) listener_(reading);
+}
+
+llrp::ROSpec TagwatchController::make_read_all_rospec(
+    util::SimDuration duration) const {
+  llrp::ROSpec spec;
+  llrp::AISpec ai;
+  ai.session = config_.session;
+  ai.initial_q = config_.phase1_initial_q;
+  ai.stop = llrp::AiSpecStopTrigger::after_duration(duration);
+  spec.ai_specs.push_back(std::move(ai));
+  return spec;
+}
+
+void TagwatchController::run_phase2_selected(const Schedule& schedule,
+                                             util::SimTime t_end,
+                                             CycleReport& report) {
+  const std::size_t n_antennas = client_->reader().antenna_count();
+  std::size_t pass = 0;
+  while (client_->now() < t_end) {
+    const std::size_t antenna = pass % n_antennas;
+    for (const auto& sel : schedule.selections) {
+      if (client_->now() >= t_end) break;
+      llrp::ROSpec spec;
+      llrp::AISpec ai;
+      ai.antenna_indexes = {antenna};
+      ai.session = config_.session;
+      ai.initial_q = q_for_population(std::max<std::size_t>(sel.covered_total, 1));
+      ai.stop = llrp::AiSpecStopTrigger::after_rounds(1);
+      llrp::C1G2Filter filter{gen2::MemBank::kEpc, sel.bitmask.pointer,
+                              sel.bitmask.mask};
+      filter.truncate = config_.use_truncation;
+      ai.filters.push_back(std::move(filter));
+      spec.ai_specs.push_back(std::move(ai));
+      const llrp::ExecutionReport exec = client_->execute(spec);
+      for (const auto& r : exec.readings) {
+        if (!first_read_) first_read_ = r.timestamp;
+        deliver(r, /*in_window=*/false, report, /*phase2=*/true);
+      }
+    }
+    ++pass;
+  }
+}
+
+CycleReport TagwatchController::run_cycle() {
+  CycleReport report;
+  report.cycle_index = cycle_counter_++;
+
+  // ----------------------------------------------------------- Phase I
+  assessor_.begin_window();
+  llrp::ROSpec phase1;
+  {
+    llrp::AISpec ai;
+    ai.session = config_.session;
+    ai.initial_q = config_.phase1_initial_q;
+    ai.stop = llrp::AiSpecStopTrigger::after_rounds(
+        client_->reader().antenna_count() * config_.phase1_rounds_per_antenna);
+    phase1.ai_specs.push_back(std::move(ai));
+  }
+  const llrp::ExecutionReport phase1_exec = client_->execute(phase1);
+  report.phase1_duration = phase1_exec.duration;
+
+  util::SimTime last_phase1_read{0};
+  std::unordered_set<util::Epc> scene_set;
+  for (const auto& r : phase1_exec.readings) {
+    deliver(r, /*in_window=*/true, report, /*phase2=*/false);
+    scene_set.insert(r.epc);
+    last_phase1_read = std::max(last_phase1_read, r.timestamp);
+  }
+  report.scene.assign(scene_set.begin(), scene_set.end());
+  std::sort(report.scene.begin(), report.scene.end());
+
+  // ------------------------------------------- Assessment + scheduling
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  report.mobile = assessor_.mobile_tags(client_->now());
+  std::unordered_set<util::Epc> target_set(report.mobile.begin(),
+                                           report.mobile.end());
+  for (const auto& pinned : config_.pinned_targets) {
+    if (scene_set.contains(pinned)) target_set.insert(pinned);
+  }
+  report.targets.assign(target_set.begin(), target_set.end());
+  std::sort(report.targets.begin(), report.targets.end());
+
+  bool read_all = config_.mode == ScheduleMode::kReadAll ||
+                  report.scene.empty() || report.targets.empty();
+  if (!read_all) {
+    const double fraction = static_cast<double>(report.targets.size()) /
+                            static_cast<double>(report.scene.size());
+    if (fraction > config_.mobile_fraction_threshold) read_all = true;
+  }
+
+  if (!read_all) {
+    BitmaskIndex index(report.scene);
+    const util::IndicatorBitmap targets = index.bitmap_of(report.targets);
+    GreedyCoverScheduler scheduler(config_.cost_model);
+    report.schedule = config_.mode == ScheduleMode::kNaiveEpcMasks
+                          ? scheduler.naive_plan(index, targets)
+                          : scheduler.plan(index, targets);
+  }
+  report.read_all_fallback = read_all;
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  report.schedule_compute_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  if (config_.charge_compute_time) {
+    // Put the host compute time on the simulation clock so the inter-phase
+    // gap reflects it, as the paper's Fig. 17 measurement does.
+    client_->reader().world().advance(
+        util::from_seconds(report.schedule_compute_ms / 1e3));
+  }
+
+  // ----------------------------------------------------------- Phase II
+  util::SimDuration phase2_length = config_.phase2_duration;
+  if (config_.phase2_policy) {
+    phase2_length = std::clamp(
+        config_.phase2_policy(report.targets.size(), report.scene.size()),
+        util::msec(100), util::sec(60));
+  }
+  const util::SimTime phase2_start = client_->now();
+  const util::SimTime t_end = phase2_start + phase2_length;
+  first_read_.reset();
+
+  if (read_all) {
+    const llrp::ExecutionReport exec =
+        client_->execute(make_read_all_rospec(phase2_length));
+    for (const auto& r : exec.readings) {
+      if (!first_read_) first_read_ = r.timestamp;
+      deliver(r, /*in_window=*/false, report, /*phase2=*/true);
+    }
+  } else {
+    run_phase2_selected(report.schedule, t_end, report);
+  }
+
+  report.phase2_duration = client_->now() - phase2_start;
+
+  // Inter-phase gap (Fig. 17): last Phase I reading → first Phase II one.
+  if (first_read_ && last_phase1_read.count() > 0) {
+    report.interphase_gap = *first_read_ - last_phase1_read;
+  } else {
+    report.interphase_gap.reset();
+  }
+
+  return report;
+}
+
+std::vector<CycleReport> TagwatchController::run_cycles(std::size_t n) {
+  std::vector<CycleReport> reports;
+  reports.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) reports.push_back(run_cycle());
+  return reports;
+}
+
+}  // namespace tagwatch::core

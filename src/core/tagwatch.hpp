@@ -1,0 +1,140 @@
+// The Tagwatch controller: the two-phase rate-adaptive reading loop.
+//
+// Tagwatch is a middle layer between the reader (via an LLRP client) and
+// upper applications (Fig. 5).  Each cycle:
+//
+//   Phase I  — inventory ALL tags briefly; assess each tag's motion state
+//              from its backscatter phase (MotionAssessor).
+//   Phase II — cover the target tags (assessed-mobile ∪ user-pinned) with
+//              Select bitmasks chosen by greedy set cover, then read only
+//              that subpopulation intensively for the rest of the cycle.
+//
+// Every reading from both phases is delivered to the application callback
+// and into the history database; Phase II readings also continue training
+// the immobility models, which is what makes state transitions converge
+// within about one cycle (§4.3).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/assessor.hpp"
+#include "core/history.hpp"
+#include "core/setcover.hpp"
+#include "llrp/sim_reader_client.hpp"
+
+namespace tagwatch::core {
+
+/// How Phase II schedules its reading.
+enum class ScheduleMode {
+  kGreedyCover,    ///< Tagwatch: greedy set-cover bitmasks (the paper's system).
+  kNaiveEpcMasks,  ///< Baseline: one full-EPC bitmask per target.
+  kReadAll,        ///< Baseline: no selection — keep inventorying everything.
+};
+
+/// Controller configuration (paper §6 "parameter choice" defaults).
+struct TagwatchConfig {
+  AssessorConfig assessor = {};
+  /// Cost model used by the scheduler's relative-gain formula; fit it on
+  /// measurements (bench_irr_model) or take the paper's values.
+  InventoryCostModel cost_model = InventoryCostModel::paper_fit();
+  ScheduleMode mode = ScheduleMode::kGreedyCover;
+  /// Fixed Phase II length (paper: 5 seconds).
+  util::SimDuration phase2_duration = util::sec(5);
+  /// Optional per-cycle override of the Phase II length, consulted after
+  /// assessment with the cycle's target count and the scene size — the
+  /// paper's "upper applications can adjust the length of Phase II
+  /// according to their requirements" hook.  Return values are clamped to
+  /// [100 ms, 60 s].  nullptr: use phase2_duration unchanged.
+  std::function<util::SimDuration(std::size_t targets, std::size_t scene)>
+      phase2_policy;
+  /// Above this mobile fraction, selective reading stops paying off and the
+  /// controller falls back to reading everything (§3 "Scope").
+  double mobile_fraction_threshold = 0.20;
+  /// Inventory rounds per antenna in Phase I ("read all tags once").
+  std::size_t phase1_rounds_per_antenna = 1;
+  /// User-pinned "concerned" tags: always scheduled in Phase II (§5).
+  std::vector<util::Epc> pinned_targets;
+  gen2::Session session = gen2::Session::kS1;
+  /// Initial Q for Phase I rounds (Phase II rounds derive Q from the
+  /// scheduled bitmask's expected coverage).
+  std::uint8_t phase1_initial_q = 4;
+  /// Set the Gen2 Truncate bit on Phase II Selects: selected tags reply
+  /// only the EPC bits after the bitmask, shortening every successful slot
+  /// (an extension; the paper reads full EPCs).
+  bool use_truncation = false;
+  /// Account the real scheduling compute time on the simulation clock so
+  /// the inter-phase gap (Fig. 17) includes it.
+  bool charge_compute_time = true;
+};
+
+/// What happened in one cycle.
+struct CycleReport {
+  std::size_t cycle_index = 0;
+  /// EPCs read during Phase I (the scene snapshot used for scheduling).
+  std::vector<util::Epc> scene;
+  /// Assessed-mobile EPCs.
+  std::vector<util::Epc> mobile;
+  /// Scheduled targets (mobile ∪ pinned∩scene).
+  std::vector<util::Epc> targets;
+  /// The Phase II plan (empty selections under kReadAll or fallback).
+  Schedule schedule;
+  /// True when Phase II read everything (no targets, fraction above
+  /// threshold, or kReadAll mode).
+  bool read_all_fallback = false;
+  std::size_t phase1_readings = 0;
+  std::size_t phase2_readings = 0;
+  util::SimDuration phase1_duration{0};
+  util::SimDuration phase2_duration{0};
+  /// Wall-clock time spent on assessment + bitmask scheduling (Fig. 17's
+  /// "extra time cost"), in milliseconds.
+  double schedule_compute_ms = 0.0;
+  /// Gap between the last Phase I reading and the first Phase II reading
+  /// on the simulation clock (Fig. 17's measured quantity).
+  std::optional<util::SimDuration> interphase_gap;
+  /// Per-tag Phase II reading counts (IRR = count / phase2 duration).
+  std::unordered_map<util::Epc, std::size_t> phase2_counts;
+};
+
+/// The rate-adaptive reading controller.
+class TagwatchController {
+ public:
+  /// `client` must outlive the controller.
+  TagwatchController(TagwatchConfig config, llrp::SimReaderClient& client);
+
+  /// Runs one full cycle (Phase I + Phase II) and reports it.
+  CycleReport run_cycle();
+
+  /// Runs `n` cycles, returning every report.
+  std::vector<CycleReport> run_cycles(std::size_t n);
+
+  /// Delivery of every reading (both phases) to the upper application.
+  void set_read_listener(gen2::ReadCallback listener) {
+    listener_ = std::move(listener);
+  }
+
+  const HistoryDatabase& history() const noexcept { return history_; }
+  MotionAssessor& assessor() noexcept { return assessor_; }
+  const TagwatchConfig& config() const noexcept { return config_; }
+  util::SimTime now() const noexcept { return client_->now(); }
+
+ private:
+  void deliver(const rf::TagReading& reading, bool in_window,
+               CycleReport& report, bool phase2);
+  llrp::ROSpec make_read_all_rospec(util::SimDuration duration) const;
+  void run_phase2_selected(const Schedule& schedule, util::SimTime t_end,
+                           CycleReport& report);
+
+  TagwatchConfig config_;
+  llrp::SimReaderClient* client_;
+  MotionAssessor assessor_;
+  HistoryDatabase history_;
+  gen2::ReadCallback listener_;
+  std::size_t cycle_counter_ = 0;
+  /// Timestamp of the first Phase II reading of the running cycle.
+  std::optional<util::SimTime> first_read_;
+};
+
+}  // namespace tagwatch::core

@@ -1,0 +1,82 @@
+// EPC Gen2 reader commands (the subset Tagwatch exercises).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitstring.hpp"
+
+namespace tagwatch::gen2 {
+
+/// Tag memory banks (Gen2 §6.3.2.1).
+enum class MemBank : std::uint8_t {
+  kReserved = 0,
+  kEpc = 1,
+  kTid = 2,
+  kUser = 3,
+};
+
+/// Inventory sessions S0–S3 (Gen2 §6.3.2.2).
+enum class Session : std::uint8_t { kS0 = 0, kS1 = 1, kS2 = 2, kS3 = 3 };
+
+/// Inventoried-flag values within a session.
+enum class InvFlag : std::uint8_t { kA = 0, kB = 1 };
+
+/// What a Select command targets (Gen2 Table 6.29): one of the four
+/// session inventoried flags, or the SL flag.
+enum class SelectTarget : std::uint8_t {
+  kSessionS0 = 0,
+  kSessionS1 = 1,
+  kSessionS2 = 2,
+  kSessionS3 = 3,
+  kSl = 4,
+};
+
+/// Select actions (Gen2 Table 6.30).  We name the two Tagwatch uses; the
+/// numeric values follow the spec so the others can be added unchanged.
+enum class SelectAction : std::uint8_t {
+  /// Matching: assert SL (or set flag A); non-matching: deassert SL (set B).
+  kAssertMatchedDeassertElse = 0,
+  /// Matching: assert SL; non-matching: do nothing.
+  kAssertMatchedOnly = 1,
+  /// Matching: do nothing; non-matching: deassert SL.
+  kDeassertUnmatchedOnly = 2,
+  /// Matching: negate SL; non-matching: do nothing.
+  kToggleMatched = 3,
+  /// Matching: deassert SL; non-matching: assert SL.
+  kDeassertMatchedAssertElse = 4,
+  /// Matching: deassert SL; non-matching: do nothing.
+  kDeassertMatchedOnly = 5,
+  /// Matching: do nothing; non-matching: assert SL.
+  kAssertUnmatchedOnly = 6,
+  /// Matching: negate SL; non-matching: do nothing (variant).
+  kToggleMatchedOnly = 7,
+};
+
+/// The Select command: picks the tag subpopulation for upcoming inventory
+/// rounds by comparing `mask` against `bank` memory starting at bit
+/// `pointer` (§5.1 of the paper; Gen2 §6.3.2.12.1.1).
+struct SelectCommand {
+  SelectTarget target = SelectTarget::kSl;
+  SelectAction action = SelectAction::kAssertMatchedDeassertElse;
+  MemBank bank = MemBank::kEpc;
+  std::uint32_t pointer = 0;   ///< Starting bit address in the bank.
+  util::BitString mask;        ///< Bits to compare (Length is mask.size()).
+  bool truncate = false;
+};
+
+/// Which tags reply to a Query (Gen2 §6.3.2.12.2.1 "Sel" field).
+enum class QuerySel : std::uint8_t {
+  kAll = 0,     ///< All tags regardless of SL.
+  kNotSl = 2,   ///< Only tags with SL deasserted.
+  kSl = 3,      ///< Only tags with SL asserted.
+};
+
+/// The Query command that opens an inventory round.
+struct QueryCommand {
+  QuerySel sel = QuerySel::kAll;
+  Session session = Session::kS0;
+  InvFlag target = InvFlag::kA;  ///< Tags whose flag equals this participate.
+  std::uint8_t q = 4;            ///< Initial frame size exponent (f = 2^Q).
+};
+
+}  // namespace tagwatch::gen2

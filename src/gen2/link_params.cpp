@@ -1,0 +1,113 @@
+#include "gen2/link_params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tagwatch::gen2 {
+
+namespace {
+
+// Gen2 command payload sizes in bits (EPCglobal Gen2 §6.3.2.12).
+constexpr std::size_t kQueryBits = 22;
+constexpr std::size_t kQueryRepBits = 4;
+constexpr std::size_t kQueryAdjustBits = 9;
+constexpr std::size_t kAckBits = 18;
+// Select: cmd(4) + target(3) + action(3) + membank(2) + pointer EBV(~8) +
+// length(8) + truncate(1) + CRC-16(16) = 45 bits, plus the mask itself.
+constexpr std::size_t kSelectFixedBits = 45;
+
+util::SimDuration ceil_us(double us) {
+  return util::SimDuration(static_cast<std::int64_t>(std::ceil(us)));
+}
+
+}  // namespace
+
+LinkParams LinkParams::max_throughput() {
+  return LinkParams{6.25, 640.0, 1, false};
+}
+
+LinkParams LinkParams::dense_reader_m4() {
+  return LinkParams{25.0, 256.0, 4, true};
+}
+
+LinkParams LinkParams::paper_testbed() {
+  return LinkParams{12.5, 320.0, 2, false};
+}
+
+void LinkParams::validate() const {
+  if (tari_us < 6.25 || tari_us > 25.0) {
+    throw std::invalid_argument("LinkParams: Tari must be in [6.25, 25] us");
+  }
+  if (blf_khz < 40.0 || blf_khz > 640.0) {
+    throw std::invalid_argument("LinkParams: BLF must be in [40, 640] kHz");
+  }
+  if (miller_m != 1 && miller_m != 2 && miller_m != 4 && miller_m != 8) {
+    throw std::invalid_argument("LinkParams: M must be 1, 2, 4 or 8");
+  }
+}
+
+LinkTiming::LinkTiming(LinkParams params) : params_(params) {
+  params_.validate();
+  t_query_ = reader_bits(kQueryBits, /*full_preamble=*/true);
+  t_query_rep_ = reader_bits(kQueryRepBits, false);
+  t_query_adjust_ = reader_bits(kQueryAdjustBits, false);
+  t_ack_ = reader_bits(kAckBits, false);
+  t_rn16_ = tag_bits(16);
+
+  // Gen2 Table 6.16: T1 = MAX(RTcal, 10·Tpri)·(1 ± tolerance); T2 in
+  // [3, 20]·Tpri (we use 10); T3 is the extra reader wait before declaring
+  // no reply (we use RTcal).
+  const double rtcal_us = 3.0 * params_.tari_us;  // data-0 + data-1 (2·Tari)
+  const double tpri_us = 1000.0 / params_.blf_khz;
+  t1_ = ceil_us(std::max(rtcal_us, 10.0 * tpri_us) * 1.1);
+  t2_ = ceil_us(10.0 * tpri_us);
+  t3_ = ceil_us(rtcal_us);
+}
+
+util::SimDuration LinkTiming::reader_bits(std::size_t bits,
+                                          bool full_preamble) const {
+  // R→T PIE: data-0 = Tari, data-1 = 2·Tari; average 1.5·Tari per bit.
+  const double bit_us = 1.5 * params_.tari_us;
+  const double rtcal_us = 3.0 * params_.tari_us;
+  const double trcal_us = 64.0 / 3.0 / (params_.blf_khz / 1000.0);  // DR=64/3
+  const double delim_us = 12.5;
+  // Query is preceded by the full preamble (delim + data-0 + RTcal + TRcal);
+  // other commands use frame-sync (delim + data-0 + RTcal).
+  const double preamble_us = delim_us + params_.tari_us + rtcal_us +
+                             (full_preamble ? trcal_us : 0.0);
+  return ceil_us(preamble_us + static_cast<double>(bits) * bit_us);
+}
+
+util::SimDuration LinkTiming::tag_bits(std::size_t payload_bits) const {
+  // T→R: each data bit takes M cycles of the BLF clock; the preamble is
+  // 6 symbols (or 22 with TRext pilot), plus a dummy terminator bit.
+  const double bit_us =
+      static_cast<double>(params_.miller_m) * 1000.0 / params_.blf_khz;
+  const std::size_t preamble_bits = params_.trext ? 22 : 6;
+  return ceil_us(static_cast<double>(preamble_bits + payload_bits + 1) * bit_us);
+}
+
+util::SimDuration LinkTiming::select(std::size_t mask_bits) const noexcept {
+  return reader_bits(kSelectFixedBits + mask_bits, false);
+}
+
+util::SimDuration LinkTiming::epc_reply(std::size_t epc_bits) const noexcept {
+  // PC/XPC word (16) + EPC + CRC-16 (16).
+  return tag_bits(16 + epc_bits + 16);
+}
+
+util::SimDuration LinkTiming::empty_slot() const noexcept {
+  return query_rep() + t1() + t3();
+}
+
+util::SimDuration LinkTiming::collision_slot() const noexcept {
+  return query_rep() + t1() + rn16() + t2();
+}
+
+util::SimDuration LinkTiming::success_slot(std::size_t epc_bits) const noexcept {
+  return query_rep() + t1() + rn16() + t2() + ack() + t1() +
+         epc_reply(epc_bits) + t2();
+}
+
+}  // namespace tagwatch::gen2

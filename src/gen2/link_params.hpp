@@ -1,0 +1,85 @@
+// EPC Gen2 air-interface timing.
+//
+// All slot and command durations are derived from the Gen2 link parameters
+// (Tari, backscatter link frequency, Miller factor, TRext), exactly as the
+// air protocol defines them.  This is what makes the simulator's
+// inventory-cost curve C(n) = τ0 + n·e·τ̄·ln n emerge from first principles
+// rather than being baked in: τ̄ is the mix of the slot durations computed
+// here, and τ0 is the per-round overhead (CW settling, Select transmission,
+// host turnaround) configured on the reader.
+#pragma once
+
+#include "util/sim_time.hpp"
+
+namespace tagwatch::gen2 {
+
+/// Reader→tag and tag→reader modulation parameters (Gen2 §6.3).
+struct LinkParams {
+  double tari_us = 6.25;     ///< Reference interval: data-0 symbol length.
+  double blf_khz = 640.0;    ///< Backscatter link frequency (tag clock).
+  int miller_m = 1;          ///< Cycles per symbol: 1 (FM0), 2, 4, or 8.
+  bool trext = false;        ///< Extended tag preamble (pilot tone).
+
+  /// ImpinJ "max throughput" style profile (fast links, dense-reader off).
+  static LinkParams max_throughput();
+
+  /// ImpinJ "dense reader M=4" style profile (robust, slower).
+  static LinkParams dense_reader_m4();
+
+  /// Miller-2 mid-rate profile whose emergent inventory cost lands in the
+  /// paper's fitted range (τ0 ≈ 19 ms, effective τ̄ ≈ 0.2 ms): the default
+  /// for benches that reproduce the paper's absolute IRR numbers.
+  static LinkParams paper_testbed();
+
+  /// Validates ranges; throws std::invalid_argument on nonsense.
+  void validate() const;
+};
+
+/// All protocol durations derived from LinkParams (Gen2 §6.3.1.2–6.3.1.6).
+/// Values are microsecond SimDurations, rounded up so time never undercounts.
+class LinkTiming {
+ public:
+  explicit LinkTiming(LinkParams params);
+
+  const LinkParams& params() const noexcept { return params_; }
+
+  /// Duration of one reader command on air, including preamble/frame-sync.
+  util::SimDuration query() const noexcept { return t_query_; }
+  util::SimDuration query_rep() const noexcept { return t_query_rep_; }
+  util::SimDuration query_adjust() const noexcept { return t_query_adjust_; }
+  util::SimDuration ack() const noexcept { return t_ack_; }
+
+  /// Select duration depends on the transmitted mask length (bits).
+  util::SimDuration select(std::size_t mask_bits) const noexcept;
+
+  /// Tag replies.
+  util::SimDuration rn16() const noexcept { return t_rn16_; }
+  util::SimDuration epc_reply(std::size_t epc_bits) const noexcept;
+
+  /// Link turnaround times (Gen2 Table 6.16).
+  util::SimDuration t1() const noexcept { return t1_; }
+  util::SimDuration t2() const noexcept { return t2_; }
+  /// Reader wait before declaring an empty slot.
+  util::SimDuration t3() const noexcept { return t3_; }
+
+  /// Composite slot durations as the inventory loop experiences them.
+  util::SimDuration empty_slot() const noexcept;
+  util::SimDuration collision_slot() const noexcept;
+  util::SimDuration success_slot(std::size_t epc_bits) const noexcept;
+
+ private:
+  util::SimDuration reader_bits(std::size_t bits, bool full_preamble) const;
+  util::SimDuration tag_bits(std::size_t payload_bits) const;
+
+  LinkParams params_;
+  util::SimDuration t_query_{0};
+  util::SimDuration t_query_rep_{0};
+  util::SimDuration t_query_adjust_{0};
+  util::SimDuration t_ack_{0};
+  util::SimDuration t_rn16_{0};
+  util::SimDuration t1_{0};
+  util::SimDuration t2_{0};
+  util::SimDuration t3_{0};
+};
+
+}  // namespace tagwatch::gen2

@@ -1,0 +1,378 @@
+#include "gen2/reader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tagwatch::gen2 {
+
+namespace {
+
+/// Sentinel slot value for collided tags: per Gen2, a tag whose counter is 0
+/// and that receives QueryRep without having been acknowledged wraps its
+/// counter and effectively leaves the frame until the next Query/QueryAdjust.
+constexpr std::uint32_t kParkedSlot = 0x7FFF;
+
+std::uint8_t clamp_q(double qfp) {
+  return static_cast<std::uint8_t>(std::lround(std::clamp(qfp, 0.0, 15.0)));
+}
+
+}  // namespace
+
+Gen2Reader::Gen2Reader(LinkTiming timing, ReaderConfig config, sim::World& world,
+                       const rf::RfChannel& channel,
+                       std::vector<rf::Antenna> antennas, util::Rng rng)
+    : timing_(std::move(timing)), config_(config), world_(&world),
+      channel_(&channel), antennas_(std::move(antennas)), rng_(rng) {
+  if (antennas_.empty()) {
+    throw std::invalid_argument("Gen2Reader: need at least one antenna");
+  }
+  if (config_.q_step <= 0.0) {
+    throw std::invalid_argument("Gen2Reader: q_step must be positive");
+  }
+  next_hop_ = world_->now() + config_.channel_dwell;
+}
+
+void Gen2Reader::transmit_select(const SelectCommand& cmd) {
+  hop_if_due();
+  world_->advance(timing_.select(cmd.mask.size()));
+  const util::SimTime t = world_->now();
+  for (std::size_t i = 0; i < world_->tags().size(); ++i) {
+    if (!world_->tag_present(i, t)) continue;
+    const util::Epc& epc = world_->tags()[i].epc;
+    apply_select_action(cmd, select_matches(cmd, epc), flags_[epc]);
+  }
+}
+
+void Gen2Reader::set_active_antenna(std::size_t index) {
+  if (index >= antennas_.size()) {
+    throw std::out_of_range("Gen2Reader::set_active_antenna");
+  }
+  antenna_idx_ = index;
+}
+
+std::vector<Gen2Reader::Participant> Gen2Reader::gather_participants(
+    const QueryCommand& query) {
+  std::vector<Participant> parts;
+  const util::SimTime t = world_->now();
+  for (std::size_t i = 0; i < world_->tags().size(); ++i) {
+    if (!world_->tag_present(i, t)) continue;
+    const sim::SimTag& tag = world_->tags()[i];
+    const TagFlags& f = flags_[tag.epc];
+    if (query.sel == QuerySel::kSl && !f.sl) continue;
+    if (query.sel == QuerySel::kNotSl && f.sl) continue;
+    if (f.session_flag(query.session) != query.target) continue;
+    // Temporarily blocked/occluded tags miss the whole round (§4.3).
+    if (tag.block_probability > 0.0 && rng_.chance(tag.block_probability)) {
+      continue;
+    }
+    parts.push_back({i, 0, false});
+  }
+  return parts;
+}
+
+void Gen2Reader::redraw_slots(std::vector<Participant>& parts,
+                              std::uint32_t frame_size) {
+  for (auto& p : parts) {
+    p.slot = rng_.below(std::max<std::uint32_t>(frame_size, 1));
+    p.parked = false;
+  }
+}
+
+void Gen2Reader::hop_if_due() {
+  while (world_->now() >= next_hop_) {
+    ++hop_counter_;
+    channel_idx_ = channel_->plan().hop_channel(hop_counter_);
+    next_hop_ += config_.channel_dwell;
+  }
+}
+
+std::size_t Gen2Reader::reply_bits(const util::Epc& epc) const {
+  // Truncated replies (Select Truncate=1): the tag transmits only the EPC
+  // bits following the matched mask; the reader reconstructs the rest from
+  // the mask it sent.
+  const TagFlags* f = flags_.find(epc);
+  if (f && f->truncate_from != TagFlags::kNoTruncate &&
+      f->truncate_from < epc.size()) {
+    return epc.size() - f->truncate_from;
+  }
+  return epc.size();
+}
+
+rf::TagReading Gen2Reader::make_reading(std::size_t tag_index) {
+  const sim::SimTag& tag = world_->tags()[tag_index];
+  const util::SimTime t = world_->now();
+  const rf::RfObservation obs = channel_->observe(
+      antennas_[antenna_idx_], tag.motion->position(t), tag.tag_phase_rad,
+      world_->reflectors_at(t), channel_idx_, rng_);
+  return rf::TagReading{tag.epc, antennas_[antenna_idx_].id, channel_idx_,
+                        obs.phase_rad, obs.rssi_dbm, t};
+}
+
+void Gen2Reader::run_binary_tree(const QueryCommand& query,
+                                 const std::vector<Participant>& parts,
+                                 const ReadCallback& on_read,
+                                 RoundStats& stats) {
+  // Capetanakis-style tree splitting: the whole population answers the
+  // first slot; every collision splits the colliding set uniformly at
+  // random into two subsets resolved depth-first.  Slot air times are the
+  // same as for ALOHA (probe + reply windows).
+  std::vector<std::vector<std::size_t>> stack;  // groups of tag indexes
+  {
+    std::vector<std::size_t> all;
+    all.reserve(parts.size());
+    for (const auto& p : parts) all.push_back(p.tag_index);
+    stack.push_back(std::move(all));
+  }
+  while (!stack.empty() && stats.slots < config_.max_slots_per_round) {
+    std::vector<std::size_t> group = std::move(stack.back());
+    stack.pop_back();
+    ++stats.slots;
+    hop_if_due();
+    if (group.empty()) {
+      world_->advance(timing_.empty_slot());
+      ++stats.empty_slots;
+      continue;
+    }
+    if (group.size() == 1) {
+      const std::size_t tag_index = group.front();
+      const bool lost = config_.slot_error_rate > 0.0 &&
+                        rng_.chance(config_.slot_error_rate);
+      if (lost) {
+        // Decode failure: the reader re-probes the same singleton set.
+        world_->advance(timing_.collision_slot());
+        ++stats.lost_slots;
+        stack.push_back(std::move(group));
+        continue;
+      }
+      const util::Epc epc = world_->tags()[tag_index].epc;
+      world_->advance(timing_.success_slot(reply_bits(epc)));
+      ++stats.success_slots;
+      InvFlag& f = flags_[epc].session_flag(query.session);
+      f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA;
+      if (on_read) on_read(make_reading(tag_index));
+      continue;
+    }
+    world_->advance(timing_.collision_slot());
+    ++stats.collision_slots;
+    std::vector<std::size_t> left, right;
+    for (const std::size_t idx : group) {
+      (rng_.chance(0.5) ? left : right).push_back(idx);
+    }
+    stack.push_back(std::move(right));
+    stack.push_back(std::move(left));
+  }
+}
+
+RoundStats Gen2Reader::run_inventory_round(const QueryCommand& query,
+                                           const ReadCallback& on_read) {
+  RoundStats stats;
+  const util::SimTime round_start = world_->now();
+  hop_if_due();
+
+  // τ0: carrier ramp, settling, host turnaround — then the opening Query.
+  world_->advance(config_.round_overhead);
+  world_->advance(timing_.query());
+
+  auto parts = gather_participants(query);
+
+  if (config_.policy == AntiCollisionPolicy::kBinaryTree) {
+    run_binary_tree(query, parts, on_read, stats);
+    stats.duration = world_->now() - round_start;
+    return stats;
+  }
+
+  double qfp = (config_.persist_q && persisted_qfp_)
+                   ? *persisted_qfp_
+                   : static_cast<double>(query.q);
+  std::uint8_t q = clamp_q(qfp);
+  if (config_.policy == AntiCollisionPolicy::kIdealDfsa) {
+    // Oracle: frame length equals the number of competing tags.
+    redraw_slots(parts, static_cast<std::uint32_t>(std::max<std::size_t>(parts.size(), 1)));
+  } else {
+    redraw_slots(parts, 1u << q);
+  }
+
+  std::size_t slots_left_in_frame =
+      (config_.policy == AntiCollisionPolicy::kIdealDfsa)
+          ? std::max<std::size_t>(parts.size(), 1)
+          : (std::size_t{1} << q);
+
+  const auto remaining_active = [&parts] {
+    return static_cast<std::size_t>(
+        std::count_if(parts.begin(), parts.end(),
+                      [](const Participant& p) { return !p.parked; }));
+  };
+
+  while (stats.slots < config_.max_slots_per_round) {
+    // Round termination.
+    if (parts.empty()) {
+      if (config_.policy == AntiCollisionPolicy::kQAdaptive) {
+        // The reader does not know the population is exhausted: it keeps
+        // issuing slots, decaying Q on each empty one, until Q reaches 0 and
+        // a final empty slot convinces it the round is over.
+        while (qfp > 0.0 && stats.slots < config_.max_slots_per_round) {
+          world_->advance(timing_.empty_slot());
+          ++stats.slots;
+          ++stats.empty_slots;
+          qfp = std::max(0.0, qfp - config_.q_step);
+        }
+        world_->advance(timing_.empty_slot());
+        ++stats.slots;
+        ++stats.empty_slots;
+      }
+      break;
+    }
+    // FSA/Q-adaptive can deadlock if every remaining tag is parked; a frame
+    // restart (new Query) un-parks them.
+    if (remaining_active() == 0 || slots_left_in_frame == 0) {
+      switch (config_.policy) {
+        case AntiCollisionPolicy::kFixedQ:
+          world_->advance(timing_.query());
+          redraw_slots(parts, 1u << q);
+          slots_left_in_frame = 1u << q;
+          break;
+        case AntiCollisionPolicy::kIdealDfsa: {
+          const auto f = static_cast<std::uint32_t>(parts.size());
+          world_->advance(timing_.query());
+          redraw_slots(parts, std::max(f, 1u));
+          slots_left_in_frame = std::max(f, 1u);
+          break;
+        }
+        case AntiCollisionPolicy::kQAdaptive:
+          world_->advance(timing_.query_adjust());
+          q = clamp_q(qfp);
+          redraw_slots(parts, 1u << q);
+          slots_left_in_frame = config_.max_slots_per_round;  // no frame bound
+          break;
+        case AntiCollisionPolicy::kBinaryTree:
+          break;  // handled by run_binary_tree; unreachable here
+      }
+      continue;
+    }
+
+    hop_if_due();
+
+    // Identify this slot's responders.
+    std::vector<std::size_t> responders;  // indexes into parts
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (!parts[i].parked && parts[i].slot == 0) responders.push_back(i);
+    }
+
+    ++stats.slots;
+    --slots_left_in_frame;
+
+    if (responders.empty()) {
+      world_->advance(timing_.empty_slot());
+      ++stats.empty_slots;
+      if (config_.policy == AntiCollisionPolicy::kQAdaptive) {
+        qfp = std::max(0.0, qfp - config_.q_step);
+      }
+    } else if (responders.size() == 1) {
+      const std::size_t pi = responders.front();
+      const bool lost = config_.slot_error_rate > 0.0 &&
+                        rng_.chance(config_.slot_error_rate);
+      if (lost) {
+        // RN16/EPC decode failure: costs a collision-like slot; the tag saw
+        // no valid ACK, so it parks like a collided tag.
+        world_->advance(timing_.collision_slot());
+        ++stats.lost_slots;
+        parts[pi].slot = kParkedSlot;
+        parts[pi].parked = true;
+      } else {
+        const std::size_t tag_index = parts[pi].tag_index;
+        const util::Epc epc = world_->tags()[tag_index].epc;
+        world_->advance(timing_.success_slot(reply_bits(epc)));
+        ++stats.success_slots;
+        // Acknowledged tag inverts its inventoried flag for this session.
+        InvFlag& f = flags_[epc].session_flag(query.session);
+        f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA;
+        if (on_read) on_read(make_reading(tag_index));
+        parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(pi));
+      }
+    } else {
+      // Capture effect: the receiver may still lock onto the strongest
+      // (nearest) responder and read it as if the slot were singular.
+      bool captured = false;
+      if (config_.capture_probability > 0.0 &&
+          rng_.chance(config_.capture_probability)) {
+        std::size_t strongest = responders.front();
+        double best_d = std::numeric_limits<double>::infinity();
+        const util::SimTime t = world_->now();
+        for (const std::size_t pi : responders) {
+          const double d = util::distance(
+              antennas_[antenna_idx_].position,
+              world_->tags()[parts[pi].tag_index].motion->position(t));
+          if (d < best_d) {
+            best_d = d;
+            strongest = pi;
+          }
+        }
+        const std::size_t tag_index = parts[strongest].tag_index;
+        const util::Epc epc = world_->tags()[tag_index].epc;
+        world_->advance(timing_.success_slot(reply_bits(epc)));
+        ++stats.success_slots;
+        InvFlag& f = flags_[epc].session_flag(query.session);
+        f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA;
+        if (on_read) on_read(make_reading(tag_index));
+        // The captured tag leaves; the losers park as in a plain collision.
+        for (const std::size_t pi : responders) {
+          if (pi == strongest) continue;
+          parts[pi].slot = kParkedSlot;
+          parts[pi].parked = true;
+        }
+        parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(strongest));
+        captured = true;
+      }
+      if (!captured) {
+        world_->advance(timing_.collision_slot());
+        ++stats.collision_slots;
+        for (const std::size_t pi : responders) {
+          parts[pi].slot = kParkedSlot;
+          parts[pi].parked = true;
+        }
+      }
+      if (config_.policy == AntiCollisionPolicy::kQAdaptive) {
+        qfp = std::min(15.0, qfp + config_.q_step);
+      }
+    }
+
+    // QueryRep: every un-parked, un-read tag decrements its counter.
+    for (auto& p : parts) {
+      if (!p.parked && p.slot > 0) --p.slot;
+    }
+
+    // Q-adaptive mid-round adjustment: when round(Qfp) drifts from Q, the
+    // reader issues QueryAdjust and all arbitrating tags (parked included)
+    // re-draw from the new frame.
+    if (config_.policy == AntiCollisionPolicy::kQAdaptive &&
+        clamp_q(qfp) != q && !parts.empty()) {
+      world_->advance(timing_.query_adjust());
+      q = clamp_q(qfp);
+      redraw_slots(parts, 1u << q);
+    }
+    // Ideal DFSA restarts the frame after every success so that f always
+    // equals the remaining population (§2.2's optimal scheme).
+    if (config_.policy == AntiCollisionPolicy::kIdealDfsa &&
+        !responders.empty() && !parts.empty()) {
+      const auto f = static_cast<std::uint32_t>(parts.size());
+      world_->advance(timing_.query());
+      redraw_slots(parts, std::max(f, 1u));
+      slots_left_in_frame = std::max(f, 1u);
+    }
+  }
+
+  // Population estimate for the next round (persist_q): frames sized to
+  // the count just inventoried, the way COTS AutoSet modes carry state.
+  if (config_.policy == AntiCollisionPolicy::kQAdaptive) {
+    persisted_qfp_ =
+        std::log2(static_cast<double>(std::max<std::size_t>(
+            stats.success_slots, 1)));
+  }
+
+  stats.duration = world_->now() - round_start;
+  return stats;
+}
+
+}  // namespace tagwatch::gen2

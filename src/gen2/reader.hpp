@@ -1,0 +1,139 @@
+// The reader-side inventory engine: slotted-ALOHA arbitration over the
+// simulated tag population, with FSA, ideal DFSA, and Q-adaptive policies.
+//
+// This is the substrate substituting for the ImpinJ R420: identical
+// link-layer mechanics (Select/Query/QueryAdjust/QueryRep/ACK slotting,
+// session flags, per-slot timing) driving a simulated clock instead of RF
+// hardware.  Successful reads are materialized into TagReading records with
+// phase/RSSI drawn from the RF channel model at the exact slot time.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gen2/commands.hpp"
+#include "gen2/link_params.hpp"
+#include "gen2/tag_runtime.hpp"
+#include "rf/channel.hpp"
+#include "rf/measurement.hpp"
+#include "sim/world.hpp"
+#include "util/rng.hpp"
+
+namespace tagwatch::gen2 {
+
+/// Anti-collision policy for an inventory round.
+enum class AntiCollisionPolicy {
+  kFixedQ,      ///< Framed Slotted ALOHA with a constant frame size 2^Q.
+  kIdealDfsa,   ///< Oracle DFSA: frame length always equals remaining tags.
+  kQAdaptive,   ///< The COTS Q algorithm (award/punish Qfp adjustment).
+  kBinaryTree,  ///< Basic binary tree splitting (Capetanakis-style): each
+                ///< collision splits the colliding set by a coin flip; the
+                ///< TDMA baseline family the paper's §8 surveys.
+};
+
+/// Reader configuration.
+struct ReaderConfig {
+  AntiCollisionPolicy policy = AntiCollisionPolicy::kQAdaptive;
+  /// Q-adaptive step C (Gen2 Annex D suggests 0.1–0.5).
+  double q_step = 0.35;
+  /// Per-round fixed overhead τ0: carrier settle, Select delivery, host
+  /// turnaround and report flush.  The paper measures 19 ms on the R420.
+  util::SimDuration round_overhead = util::msec(19);
+  /// Probability that an otherwise-successful single reply is lost (RN16 or
+  /// EPC decode error) — failure injection for robustness tests.
+  double slot_error_rate = 0.0;
+  /// Capture effect: probability that a collided slot still decodes the
+  /// strongest responder (the tag closest to the active antenna).  Real
+  /// UHF receivers capture routinely; it skews reads toward near tags.
+  double capture_probability = 0.0;
+  /// Frequency-hop dwell time (China band regulation ~400 ms).
+  util::SimDuration channel_dwell = util::msec(400);
+  /// Runaway guard: abort a round after this many slots.
+  std::size_t max_slots_per_round = 200'000;
+  /// Carry the adapted Qfp across rounds (COTS readers do): the next
+  /// round's frame starts from the previous round's converged estimate
+  /// instead of the Query's initial Q.
+  bool persist_q = false;
+};
+
+/// Per-round outcome counters.
+struct RoundStats {
+  std::size_t slots = 0;
+  std::size_t empty_slots = 0;
+  std::size_t collision_slots = 0;
+  std::size_t success_slots = 0;
+  std::size_t lost_slots = 0;       ///< Injected decode failures.
+  util::SimDuration duration{0};    ///< Air + overhead time of the round.
+};
+
+/// Invoked for every successful tag read, in slot order.
+using ReadCallback = std::function<void(const rf::TagReading&)>;
+
+/// Simulated EPC Gen2 reader bound to a World and an RF channel model.
+class Gen2Reader {
+ public:
+  /// The reader transmits through `antennas` (at least one).  `world` and
+  /// `channel` must outlive the reader.
+  Gen2Reader(LinkTiming timing, ReaderConfig config, sim::World& world,
+             const rf::RfChannel& channel, std::vector<rf::Antenna> antennas,
+             util::Rng rng);
+
+  /// Broadcasts a Select command: advances the clock by the command's air
+  /// time and updates the flags of every tag currently in the field.
+  void transmit_select(const SelectCommand& cmd);
+
+  /// Runs one full inventory round opened by `query`, reporting each
+  /// successful read through `on_read`.  Advances the simulation clock by
+  /// the round's total duration (including round_overhead).
+  RoundStats run_inventory_round(const QueryCommand& query,
+                                 const ReadCallback& on_read);
+
+  /// Selects the active antenna port by index into the antenna list.
+  void set_active_antenna(std::size_t index);
+  const rf::Antenna& active_antenna() const { return antennas_.at(antenna_idx_); }
+  std::size_t antenna_count() const noexcept { return antennas_.size(); }
+
+  /// Current frequency channel (index into the channel plan).
+  std::size_t current_channel() const noexcept { return channel_idx_; }
+
+  util::SimTime now() const noexcept { return world_->now(); }
+  const LinkTiming& timing() const noexcept { return timing_; }
+  const ReaderConfig& config() const noexcept { return config_; }
+  FlagStore& flags() noexcept { return flags_; }
+  sim::World& world() noexcept { return *world_; }
+
+ private:
+  struct Participant {
+    std::size_t tag_index;                 ///< Index into world tags.
+    std::uint32_t slot;                    ///< Remaining QueryReps until reply.
+    bool parked = false;                   ///< Collided; waits for re-draw.
+  };
+
+  /// Tags in the field whose flags satisfy the query's Sel/session/target.
+  std::vector<Participant> gather_participants(const QueryCommand& query);
+  /// Tree-splitting arbitration (kBinaryTree policy).
+  void run_binary_tree(const QueryCommand& query,
+                       const std::vector<Participant>& parts,
+                       const ReadCallback& on_read, RoundStats& stats);
+  void redraw_slots(std::vector<Participant>& parts, std::uint32_t frame_size);
+  void hop_if_due();
+  /// EPC bits a tag actually backscatters (full, or truncated per Select).
+  std::size_t reply_bits(const util::Epc& epc) const;
+  rf::TagReading make_reading(std::size_t tag_index);
+
+  LinkTiming timing_;
+  ReaderConfig config_;
+  sim::World* world_;
+  const rf::RfChannel* channel_;
+  std::vector<rf::Antenna> antennas_;
+  util::Rng rng_;
+  FlagStore flags_;
+  std::size_t antenna_idx_ = 0;
+  std::size_t channel_idx_ = 0;
+  std::size_t hop_counter_ = 0;
+  util::SimTime next_hop_{0};
+  /// Last round's converged Qfp (used when persist_q is set).
+  std::optional<double> persisted_qfp_;
+};
+
+}  // namespace tagwatch::gen2

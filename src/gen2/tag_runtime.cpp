@@ -1,0 +1,82 @@
+#include "gen2/tag_runtime.hpp"
+
+namespace tagwatch::gen2 {
+
+bool select_matches(const SelectCommand& cmd, const util::Epc& epc) {
+  if (cmd.bank != MemBank::kEpc) return false;
+  return epc.matches(cmd.pointer, cmd.mask);
+}
+
+namespace {
+
+/// Generic "assert"/"deassert"/"toggle" applied to either the SL flag or a
+/// session inventoried flag, per the Select target.
+enum class FlagOp { kAssert, kDeassert, kToggle, kNone };
+
+void apply_op(FlagOp op, const SelectCommand& cmd, TagFlags& flags) {
+  if (op == FlagOp::kNone) return;
+  if (cmd.target == SelectTarget::kSl) {
+    switch (op) {
+      case FlagOp::kAssert: flags.sl = true; break;
+      case FlagOp::kDeassert: flags.sl = false; break;
+      case FlagOp::kToggle: flags.sl = !flags.sl; break;
+      case FlagOp::kNone: break;
+    }
+    return;
+  }
+  const auto session = static_cast<Session>(cmd.target);
+  InvFlag& f = flags.session_flag(session);
+  switch (op) {
+    // For session targets the spec reads "assert" as set-to-A and
+    // "deassert" as set-to-B.
+    case FlagOp::kAssert: f = InvFlag::kA; break;
+    case FlagOp::kDeassert: f = InvFlag::kB; break;
+    case FlagOp::kToggle: f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA; break;
+    case FlagOp::kNone: break;
+  }
+}
+
+}  // namespace
+
+void apply_select_action(const SelectCommand& cmd, bool matched, TagFlags& flags) {
+  // Truncation state: a matching Select with Truncate set arms a shortened
+  // reply starting right after the compared bits; any other Select disarms
+  // it (per spec, truncation applies only when the *last* Select matched
+  // with Truncate=1).
+  if (matched && cmd.truncate) {
+    flags.truncate_from = cmd.pointer + cmd.mask.size();
+  } else {
+    flags.truncate_from = TagFlags::kNoTruncate;
+  }
+
+  FlagOp op = FlagOp::kNone;
+  switch (cmd.action) {
+    case SelectAction::kAssertMatchedDeassertElse:
+      op = matched ? FlagOp::kAssert : FlagOp::kDeassert;
+      break;
+    case SelectAction::kAssertMatchedOnly:
+      op = matched ? FlagOp::kAssert : FlagOp::kNone;
+      break;
+    case SelectAction::kDeassertUnmatchedOnly:
+      op = matched ? FlagOp::kNone : FlagOp::kDeassert;
+      break;
+    case SelectAction::kToggleMatched:
+      op = matched ? FlagOp::kToggle : FlagOp::kNone;
+      break;
+    case SelectAction::kDeassertMatchedAssertElse:
+      op = matched ? FlagOp::kDeassert : FlagOp::kAssert;
+      break;
+    case SelectAction::kDeassertMatchedOnly:
+      op = matched ? FlagOp::kDeassert : FlagOp::kNone;
+      break;
+    case SelectAction::kAssertUnmatchedOnly:
+      op = matched ? FlagOp::kNone : FlagOp::kAssert;
+      break;
+    case SelectAction::kToggleMatchedOnly:
+      op = matched ? FlagOp::kToggle : FlagOp::kNone;
+      break;
+  }
+  apply_op(op, cmd, flags);
+}
+
+}  // namespace tagwatch::gen2

@@ -1,0 +1,75 @@
+// Tag-side persistent protocol state (flags) and Select evaluation.
+//
+// Real Gen2 tags hold an SL flag and four per-session inventoried flags in
+// volatile state.  The simulator keeps them here, keyed by EPC, and applies
+// Select commands exactly as the spec's match/non-match action table does.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "gen2/commands.hpp"
+#include "util/epc.hpp"
+
+namespace tagwatch::gen2 {
+
+/// The flag state a single tag maintains across inventory rounds.
+struct TagFlags {
+  bool sl = false;
+  std::array<InvFlag, 4> inventoried{InvFlag::kA, InvFlag::kA, InvFlag::kA,
+                                     InvFlag::kA};
+  /// Truncation (Gen2 §6.3.2.12.1.1): when the last matching Select had its
+  /// Truncate bit set, the tag backscatters only the EPC bits *after* the
+  /// mask (the reader knows the masked prefix already), shortening the
+  /// reply.  Holds the first EPC bit index to transmit, or npos when the
+  /// full EPC is replied.
+  static constexpr std::size_t kNoTruncate = static_cast<std::size_t>(-1);
+  std::size_t truncate_from = kNoTruncate;
+
+  InvFlag& session_flag(Session s) {
+    return inventoried[static_cast<std::size_t>(s)];
+  }
+  InvFlag session_flag(Session s) const {
+    return inventoried[static_cast<std::size_t>(s)];
+  }
+};
+
+/// Evaluates whether `epc` matches a Select's (bank, pointer, mask) rule.
+/// Only the EPC bank is modeled; Select on other banks never matches.
+bool select_matches(const SelectCommand& cmd, const util::Epc& epc);
+
+/// Applies a Select command's action to one tag's flags, given whether the
+/// tag matched the mask (Gen2 Table 6.30 semantics for both SL and session
+/// targets).
+void apply_select_action(const SelectCommand& cmd, bool matched, TagFlags& flags);
+
+/// Flag store for the whole population.  Operator[] default-constructs the
+/// power-up state (SL deasserted, all sessions A), which is what a tag
+/// entering the field presents.
+class FlagStore {
+ public:
+  TagFlags& operator[](const util::Epc& epc) { return flags_[epc]; }
+
+  const TagFlags* find(const util::Epc& epc) const {
+    const auto it = flags_.find(epc);
+    return it == flags_.end() ? nullptr : &it->second;
+  }
+
+  /// Broadcasts a Select to every tag in `epcs`.
+  template <typename EpcRange>
+  void broadcast_select(const SelectCommand& cmd, const EpcRange& epcs) {
+    for (const auto& epc : epcs) {
+      apply_select_action(cmd, select_matches(cmd, epc), (*this)[epc]);
+    }
+  }
+
+  /// Drops state for tags that left the field.
+  void forget(const util::Epc& epc) { flags_.erase(epc); }
+  void clear() { flags_.clear(); }
+  std::size_t size() const noexcept { return flags_.size(); }
+
+ private:
+  std::unordered_map<util::Epc, TagFlags> flags_;
+};
+
+}  // namespace tagwatch::gen2

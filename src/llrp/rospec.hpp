@@ -1,0 +1,74 @@
+// LLRP reader-operation specifications (the subset Tagwatch uses).
+//
+// LLRP (EPCglobal Low Level Reader Protocol) is how a client delivers Gen2
+// parameters to a COTS reader.  Tagwatch configures selective reading by
+// sending a ROSpec whose AISpecs carry C1G2 filters — each filter maps to a
+// Gen2 Select bitmask (paper §6, Fig. 11).  The structures here mirror the
+// LLRP information model; SimReaderClient executes them against the
+// simulated reader.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gen2/commands.hpp"
+#include "util/bitstring.hpp"
+#include "util/sim_time.hpp"
+
+namespace tagwatch::llrp {
+
+/// A C1G2 inventory filter == one Gen2 Select bitmask S(mask, pointer, len).
+struct C1G2Filter {
+  gen2::MemBank bank = gen2::MemBank::kEpc;
+  std::uint32_t pointer = 0;
+  util::BitString mask;  ///< Length field == mask.size().
+  /// Gen2 Truncate: matching tags backscatter only the EPC bits after the
+  /// mask, shortening selective-read replies (the reader reconstructs the
+  /// masked prefix).  Only meaningful on the last Select before a Query.
+  bool truncate = false;
+};
+
+/// When an AISpec stops running.
+struct AiSpecStopTrigger {
+  enum class Kind {
+    kRounds,    ///< Stop after `rounds` inventory rounds.
+    kDuration,  ///< Stop once `duration` of reader time has elapsed
+                ///< (the current round is always completed first).
+  };
+  Kind kind = Kind::kRounds;
+  std::size_t rounds = 1;
+  util::SimDuration duration{0};
+
+  static AiSpecStopTrigger after_rounds(std::size_t n) {
+    return {Kind::kRounds, n, util::SimDuration{0}};
+  }
+  static AiSpecStopTrigger after_duration(util::SimDuration d) {
+    return {Kind::kDuration, 0, d};
+  }
+};
+
+/// Antenna-inventory spec: which antennas to drive, which tag subpopulation
+/// (via filters) to inventory, and for how long.
+struct AISpec {
+  /// Antenna indexes (into the reader's antenna list) this spec cycles
+  /// through, one round per antenna in turn.  Empty means "all antennas".
+  std::vector<std::size_t> antenna_indexes;
+  /// Conjunctive filters: a tag must match all to participate (Gen2 chains
+  /// Selects with deassert-unmatched actions).  Empty means "no selection":
+  /// every tag participates.
+  std::vector<C1G2Filter> filters;
+  gen2::Session session = gen2::Session::kS1;
+  std::uint8_t initial_q = 4;
+  AiSpecStopTrigger stop = AiSpecStopTrigger::after_rounds(1);
+};
+
+/// A reader operation: an ordered list of AISpecs, optionally looped.
+struct ROSpec {
+  std::uint32_t id = 1;
+  std::uint8_t priority = 0;
+  std::vector<AISpec> ai_specs;
+  std::size_t loops = 1;  ///< How many times to run the AISpec list.
+};
+
+}  // namespace tagwatch::llrp

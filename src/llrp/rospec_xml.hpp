@@ -1,0 +1,32 @@
+// XML serialization of ROSpecs.
+//
+// LLRP tooling (the LTK the paper uses) configures readers with ROSpec XML
+// documents (paper Fig. 11).  This supports saving/loading schedules and
+// inspecting what Tagwatch sends to the reader.  The dialect is a compact
+// element-per-field subset, e.g.:
+//
+//   <ROSpec id="1" priority="0" loops="1">
+//     <AISpec session="1" initialQ="4">
+//       <Antennas>0,1</Antennas>
+//       <C1G2Filter bank="1" pointer="3">
+//         <Mask>11</Mask>
+//       </C1G2Filter>
+//       <StopTrigger kind="duration" ms="5000"/>
+//     </AISpec>
+//   </ROSpec>
+#pragma once
+
+#include <string>
+
+#include "llrp/rospec.hpp"
+
+namespace tagwatch::llrp {
+
+/// Renders a ROSpec as XML (stable formatting, round-trips with parse).
+std::string to_xml(const ROSpec& spec);
+
+/// Parses XML produced by to_xml (or hand-written in the same dialect).
+/// Throws std::invalid_argument with a line-context message on bad input.
+ROSpec rospec_from_xml(std::string_view xml);
+
+}  // namespace tagwatch::llrp

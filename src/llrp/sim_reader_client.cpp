@@ -1,0 +1,123 @@
+#include "llrp/sim_reader_client.hpp"
+
+namespace tagwatch::llrp {
+
+namespace {
+
+void accumulate(gen2::RoundStats& total, const gen2::RoundStats& round) {
+  total.slots += round.slots;
+  total.empty_slots += round.empty_slots;
+  total.collision_slots += round.collision_slots;
+  total.success_slots += round.success_slots;
+  total.lost_slots += round.lost_slots;
+  total.duration += round.duration;
+}
+
+}  // namespace
+
+SimReaderClient::SimReaderClient(gen2::LinkTiming timing,
+                                 gen2::ReaderConfig config, sim::World& world,
+                                 const rf::RfChannel& channel,
+                                 std::vector<rf::Antenna> antennas,
+                                 std::uint64_t seed)
+    : reader_(std::move(timing), config, world, channel, std::move(antennas),
+              util::Rng(seed)) {}
+
+void SimReaderClient::apply_filters(const std::vector<C1G2Filter>& filters,
+                                    gen2::Session session) {
+  if (filters.empty()) {
+    // Unfiltered inventory: re-arm the whole population with a Select whose
+    // zero-length mask matches every tag (matched → A).  This keeps every
+    // round reading everything even when a prior *selective* phase parked
+    // non-targets at B — without it, a plain A/B dual-target Phase I wastes
+    // its first round after Phase II (on hardware, S1 flag persistence
+    // decay eventually papers over this; the Select makes it deterministic).
+    gen2::SelectCommand cmd;
+    cmd.target = static_cast<gen2::SelectTarget>(session);
+    cmd.action = gen2::SelectAction::kAssertMatchedDeassertElse;
+    cmd.bank = gen2::MemBank::kEpc;
+    cmd.pointer = 0;
+    cmd.mask = util::BitString();  // Length 0: matches all tags
+    reader_.transmit_select(cmd);
+    return;
+  }
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    gen2::SelectCommand cmd;
+    // Target the session's inventoried flag: matching tags are reset to A,
+    // non-matching tags are parked at B.  Re-arming the flag with every
+    // Select lets the same subpopulation answer round after round — the
+    // standard COTS pattern for repeated selective reading (a pure SL-based
+    // selection would strand tags whose A/B flag toggled on a prior read).
+    cmd.target = static_cast<gen2::SelectTarget>(session);
+    // First Select partitions the population (matched → A, rest → B);
+    // later Selects intersect by parking tags that fail them at B.
+    cmd.action = (i == 0) ? gen2::SelectAction::kAssertMatchedDeassertElse
+                          : gen2::SelectAction::kDeassertUnmatchedOnly;
+    cmd.bank = filters[i].bank;
+    cmd.pointer = filters[i].pointer;
+    cmd.mask = filters[i].mask;
+    // Truncation is only honored on the final Select of the sequence.
+    cmd.truncate = filters[i].truncate && i + 1 == filters.size();
+    reader_.transmit_select(cmd);
+  }
+}
+
+void SimReaderClient::run_aispec(const AISpec& spec, ExecutionReport& report) {
+  const util::SimTime start = reader_.now();
+  std::vector<std::size_t> antennas = spec.antenna_indexes;
+  if (antennas.empty()) {
+    antennas.resize(reader_.antenna_count());
+    for (std::size_t i = 0; i < antennas.size(); ++i) antennas[i] = i;
+  }
+
+  const auto on_read = [this, &report](const rf::TagReading& reading) {
+    report.readings.push_back(reading);
+    if (listener_) listener_(reading);
+  };
+
+  std::size_t rounds_done = 0;
+  std::size_t antenna_cursor = 0;
+  for (;;) {
+    // Stop-trigger check before each round.
+    if (spec.stop.kind == AiSpecStopTrigger::Kind::kRounds) {
+      if (rounds_done >= spec.stop.rounds) break;
+    } else {
+      if (reader_.now() - start >= spec.stop.duration) break;
+    }
+
+    reader_.set_active_antenna(antennas[antenna_cursor]);
+    antenna_cursor = (antenna_cursor + 1) % antennas.size();
+
+    // Selects precede every inventory round, re-establishing session flags
+    // for the selected subpopulation (including tags that entered the field
+    // since the previous round).
+    apply_filters(spec.filters, spec.session);
+
+    gen2::QueryCommand query;
+    query.sel = gen2::QuerySel::kAll;
+    query.session = spec.session;
+    // All rounds target A: the preceding Select (filtered or match-all)
+    // just reset the participating tags' flags to A.
+    query.target = gen2::InvFlag::kA;
+    query.q = spec.initial_q;
+
+    const gen2::RoundStats stats = reader_.run_inventory_round(query, on_read);
+    accumulate(report.slot_totals, stats);
+    ++rounds_done;
+    ++report.rounds;
+  }
+}
+
+ExecutionReport SimReaderClient::execute(const ROSpec& spec) {
+  ExecutionReport report;
+  const util::SimTime start = reader_.now();
+  for (std::size_t loop = 0; loop < spec.loops; ++loop) {
+    for (const auto& ai : spec.ai_specs) {
+      run_aispec(ai, report);
+    }
+  }
+  report.duration = reader_.now() - start;
+  return report;
+}
+
+}  // namespace tagwatch::llrp

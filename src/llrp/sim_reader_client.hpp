@@ -1,0 +1,59 @@
+// SimReaderClient: executes ROSpecs against the simulated Gen2 reader.
+//
+// Stands in for the LLRP Tool Kit + physical ImpinJ reader: the client
+// accepts the same control surface Tagwatch uses on hardware (ROSpecs whose
+// AISpecs carry C1G2 filters) and turns it into Gen2 Select + inventory
+// rounds on the simulator, streaming TagReportData-equivalent readings back.
+#pragma once
+
+#include <vector>
+
+#include "gen2/reader.hpp"
+#include "llrp/rospec.hpp"
+
+namespace tagwatch::llrp {
+
+/// Aggregate result of executing one ROSpec.
+struct ExecutionReport {
+  std::vector<rf::TagReading> readings;
+  std::size_t rounds = 0;
+  util::SimDuration duration{0};
+  gen2::RoundStats slot_totals;  ///< Summed over all rounds.
+};
+
+/// Executes ROSpecs on a simulated reader.
+///
+/// Every inventory round is preceded by Select commands that re-arm the
+/// participating subpopulation's session flag to A (a match-all Select for
+/// unfiltered rounds, the configured filters otherwise), so each round
+/// re-inventories its full population — the repeated-reading discipline
+/// the paper's measurements assume.
+class SimReaderClient {
+ public:
+  /// `world` and `channel` must outlive the client.
+  SimReaderClient(gen2::LinkTiming timing, gen2::ReaderConfig config,
+                  sim::World& world, const rf::RfChannel& channel,
+                  std::vector<rf::Antenna> antennas, std::uint64_t seed);
+
+  /// Streams every read to `listener` (in addition to the returned report).
+  void set_read_listener(gen2::ReadCallback listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Runs the ROSpec to completion and returns everything it read.
+  ExecutionReport execute(const ROSpec& spec);
+
+  /// The underlying simulated reader (for tests and advanced callers).
+  gen2::Gen2Reader& reader() noexcept { return reader_; }
+  util::SimTime now() const noexcept { return reader_.now(); }
+
+ private:
+  void run_aispec(const AISpec& spec, ExecutionReport& report);
+  void apply_filters(const std::vector<C1G2Filter>& filters,
+                     gen2::Session session);
+
+  gen2::Gen2Reader reader_;
+  gen2::ReadCallback listener_;
+};
+
+}  // namespace tagwatch::llrp

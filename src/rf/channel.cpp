@@ -1,0 +1,49 @@
+#include "rf/channel.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "util/circular.hpp"
+
+namespace tagwatch::rf {
+
+namespace {
+
+double quantize(double value, double quantum) {
+  if (quantum <= 0.0) return value;
+  return std::round(value / quantum) * quantum;
+}
+
+}  // namespace
+
+RfObservation RfChannel::observe(const Antenna& antenna, util::Vec3 tag_pos,
+                                 double tag_phase_rad,
+                                 const std::vector<Reflector>& reflectors,
+                                 std::size_t channel, util::Rng& rng) const {
+  const double wavelength = plan_.wavelength_m(channel);
+  const PathSet paths = compute_paths(antenna.position, tag_pos, reflectors);
+  const std::complex<double> h =
+      backscatter_channel(paths, wavelength, tag_phase_rad);
+
+  RfObservation obs;
+  const double raw_phase = std::arg(h) + rng.normal(0.0, noise_.phase_noise_stddev_rad);
+  obs.phase_rad = util::wrap_to_2pi(quantize(util::wrap_to_2pi(raw_phase),
+                                             noise_.phase_quantum_rad));
+
+  // RSSI: free-space two-way level for the LOS distance, shifted by the
+  // multipath gain |h|/|h_los| so constructive/destructive interference
+  // shows up in the report, plus receiver noise and coarse quantization.
+  const std::complex<double> h_los =
+      backscatter_channel(PathSet{paths.los_m, {}, {}}, wavelength, tag_phase_rad);
+  const double multipath_gain_db =
+      20.0 * std::log10(std::max(std::abs(h) / std::max(std::abs(h_los), 1e-12), 1e-6));
+  const double raw_rssi = backscatter_rssi_dbm(paths.los_m, wavelength,
+                                               /*tx_power_dbm=*/32.5,
+                                               /*system_gain_db=*/antenna.gain_dbi - 18.0) +
+                          multipath_gain_db +
+                          rng.normal(0.0, noise_.rssi_noise_stddev_db);
+  obs.rssi_dbm = quantize(raw_rssi, noise_.rssi_quantum_db);
+  return obs;
+}
+
+}  // namespace tagwatch::rf

@@ -1,0 +1,46 @@
+#include "rf/channel_plan.hpp"
+
+#include <stdexcept>
+
+namespace tagwatch::rf {
+
+ChannelPlan ChannelPlan::china_920_926() {
+  std::vector<double> freqs;
+  freqs.reserve(16);
+  for (int k = 0; k < 16; ++k) {
+    freqs.push_back(920.25e6 + static_cast<double>(k) * 0.375e6);
+  }
+  return ChannelPlan(std::move(freqs));
+}
+
+ChannelPlan ChannelPlan::single(double frequency_hz) {
+  return ChannelPlan({frequency_hz});
+}
+
+ChannelPlan::ChannelPlan(std::vector<double> frequencies_hz)
+    : frequencies_hz_(std::move(frequencies_hz)) {
+  if (frequencies_hz_.empty()) {
+    throw std::invalid_argument("ChannelPlan: need at least one frequency");
+  }
+  for (const double f : frequencies_hz_) {
+    if (f <= 0.0) throw std::invalid_argument("ChannelPlan: bad frequency");
+  }
+}
+
+double ChannelPlan::frequency_hz(std::size_t channel) const {
+  return frequencies_hz_.at(channel);
+}
+
+double ChannelPlan::wavelength_m(std::size_t channel) const {
+  return kSpeedOfLight / frequency_hz(channel);
+}
+
+std::size_t ChannelPlan::hop_channel(std::size_t hop_index) const noexcept {
+  // Stride 7 is coprime with 16 (and with most small channel counts); fall
+  // back to stride 1 when it is not.
+  const std::size_t n = frequencies_hz_.size();
+  const std::size_t stride = (n % 7 != 0) ? 7 : 1;
+  return (hop_index * stride) % n;
+}
+
+}  // namespace tagwatch::rf

@@ -1,0 +1,42 @@
+// UHF RFID frequency-channel plan and hopping.
+//
+// The paper's testbed operates on 16 channels in 920–926 MHz (the Chinese
+// UHF band used by the ImpinJ R420).  Phase reports are not comparable
+// across channels — the wavelength changes — so the channel index is part
+// of every observation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tagwatch::rf {
+
+/// Speed of light (m/s).
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// A fixed set of carrier frequencies plus a deterministic hop sequence.
+class ChannelPlan {
+ public:
+  /// The 16-channel 920–926 MHz plan from the paper's testbed:
+  /// 920.25 MHz + k * 0.375 MHz for k = 0..15.
+  static ChannelPlan china_920_926();
+
+  /// A single-frequency plan (disables hopping); useful in unit tests.
+  static ChannelPlan single(double frequency_hz);
+
+  explicit ChannelPlan(std::vector<double> frequencies_hz);
+
+  std::size_t channel_count() const noexcept { return frequencies_hz_.size(); }
+  double frequency_hz(std::size_t channel) const;
+  double wavelength_m(std::size_t channel) const;
+
+  /// Deterministic frequency-hopping sequence: hop index -> channel index.
+  /// Uses a fixed permutation stride that is coprime with the channel count
+  /// so every channel is visited once per 16 hops (FCC/ETSI-style hopping).
+  std::size_t hop_channel(std::size_t hop_index) const noexcept;
+
+ private:
+  std::vector<double> frequencies_hz_;
+};
+
+}  // namespace tagwatch::rf

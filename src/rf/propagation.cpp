@@ -1,0 +1,63 @@
+#include "rf/propagation.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/circular.hpp"
+
+namespace tagwatch::rf {
+
+PathSet compute_paths(util::Vec3 reader, util::Vec3 tag,
+                      const std::vector<Reflector>& reflectors) {
+  PathSet paths;
+  paths.los_m = util::distance(reader, tag);
+  paths.reflected_m.reserve(reflectors.size());
+  paths.coefficients.reserve(reflectors.size());
+  for (const auto& r : reflectors) {
+    paths.reflected_m.push_back(util::distance(reader, r.position) +
+                                util::distance(r.position, tag));
+    paths.coefficients.push_back(r.reflection_coefficient);
+  }
+  return paths;
+}
+
+std::complex<double> backscatter_channel(const PathSet& paths, double wavelength_m,
+                                         double tag_phase_rad) {
+  if (wavelength_m <= 0.0) {
+    throw std::invalid_argument("backscatter_channel: bad wavelength");
+  }
+  const auto path_term = [&](double one_way_m, double extra_gain) {
+    // Round trip traverses the path twice: phase 2π·(2d)/λ, amplitude ∝ 1/d²
+    // (two one-way spreading losses).  Normalize amplitude to 1 at 1 m.
+    const double d = std::max(one_way_m, 0.05);
+    const double amplitude = extra_gain / (d * d);
+    const double phase = -util::kTwoPi * (2.0 * one_way_m) / wavelength_m;
+    return std::polar(amplitude, phase);
+  };
+
+  std::complex<double> h = path_term(paths.los_m, 1.0);
+  for (std::size_t i = 0; i < paths.reflected_m.size(); ++i) {
+    h += path_term(paths.reflected_m[i], paths.coefficients[i]);
+  }
+  return h * std::polar(1.0, tag_phase_rad);
+}
+
+int fresnel_zone(util::Vec3 reader, util::Vec3 tag, util::Vec3 q,
+                 double wavelength_m) {
+  if (wavelength_m <= 0.0) throw std::invalid_argument("fresnel_zone: bad wavelength");
+  const double detour = util::distance(reader, q) + util::distance(q, tag) -
+                        util::distance(reader, tag);
+  return std::max(1, static_cast<int>(std::ceil(detour / (wavelength_m / 2.0))));
+}
+
+double backscatter_rssi_dbm(double d_m, double wavelength_m, double tx_power_dbm,
+                            double system_gain_db) {
+  const double d = std::max(d_m, 0.05);
+  // Radar-style two-way free-space loss: 40·log10(4πd/λ).
+  const double one_way_db =
+      20.0 * std::log10(4.0 * std::numbers::pi * d / wavelength_m);
+  return tx_power_dbm + system_gain_db - 2.0 * one_way_db;
+}
+
+}  // namespace tagwatch::rf

@@ -1,0 +1,60 @@
+// Backscatter propagation: phase, path loss, multipath, Fresnel zones.
+//
+// Physical grounding (paper §4):
+//   * round-trip phase  θ = (4πd/λ + θ_tag) mod 2π        — §4.3
+//   * each nearby object adds a reflected propagation s_k whose extra path
+//     length relative to the line of sight determines its Fresnel zone and
+//     the constructive/destructive character of the superposition — Fig. 7
+//   * the receiver observes the argument/magnitude of the complex sum of
+//     all propagation paths.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace tagwatch::rf {
+
+/// One scattering object in the environment (e.g. a walking person).
+struct Reflector {
+  util::Vec3 position;
+  /// Fraction of incident field re-radiated along the reflected path
+  /// (dimensionless, 0..1); people measure around 0.1–0.4 at UHF.
+  double reflection_coefficient = 0.2;
+};
+
+/// One-way line-of-sight path length plus reflected path lengths.
+struct PathSet {
+  double los_m = 0.0;
+  std::vector<double> reflected_m;        ///< |Rq| + |qT| per reflector.
+  std::vector<double> coefficients;       ///< matching reflection coefficients
+};
+
+/// Computes the LOS and per-reflector one-way path lengths between a reader
+/// antenna at `reader` and a tag at `tag`.
+PathSet compute_paths(util::Vec3 reader, util::Vec3 tag,
+                      const std::vector<Reflector>& reflectors);
+
+/// Complex baseband channel for the round trip (reader→tag→reader): the sum
+/// over paths of a_i · e^{-j·2π·(2·d_i)/λ}, where the LOS amplitude follows
+/// free-space two-way loss and each reflected path is further scaled by its
+/// reflection coefficient.  `tag_phase_rad` adds the tag's own backscatter
+/// phase offset θ_tag.
+std::complex<double> backscatter_channel(const PathSet& paths, double wavelength_m,
+                                         double tag_phase_rad);
+
+/// Fresnel-zone index of point `q` for the reader/tag pair: the smallest k
+/// with |Rq| + |qT| − |RT| ≤ k·λ/2 (k ≥ 1).  Objects in low zones dominate
+/// multipath; the paper cites zones 3–8 as significant.
+int fresnel_zone(util::Vec3 reader, util::Vec3 tag, util::Vec3 q,
+                 double wavelength_m);
+
+/// Free-space two-way (radar-equation-style) received power in dBm for a
+/// backscatter link of one-way length `d_m`, given transmit power and
+/// combined antenna/backscatter gains.
+double backscatter_rssi_dbm(double d_m, double wavelength_m,
+                            double tx_power_dbm = 32.5,
+                            double system_gain_db = -10.0);
+
+}  // namespace tagwatch::rf

@@ -1,0 +1,86 @@
+#include "sim/motion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tagwatch::sim {
+
+CircularTrack::CircularTrack(util::Vec3 center, double radius_m, double speed_mps,
+                             double phase0_rad)
+    : center_(center), radius_m_(radius_m), speed_mps_(speed_mps),
+      phase0_rad_(phase0_rad) {
+  if (radius_m <= 0.0) throw std::invalid_argument("CircularTrack: radius <= 0");
+}
+
+util::Vec3 CircularTrack::position(util::SimTime t) const {
+  const double angle =
+      phase0_rad_ + speed_mps_ / radius_m_ * util::to_seconds(t);
+  return center_ + util::Vec3{radius_m_ * std::cos(angle),
+                              radius_m_ * std::sin(angle), 0.0};
+}
+
+LinearConveyor::LinearConveyor(util::Vec3 origin, util::Vec3 velocity_mps,
+                               util::SimTime start_time, double travel_m)
+    : origin_(origin), velocity_(velocity_mps), start_(start_time),
+      travel_m_(travel_m) {
+  if (velocity_.norm() <= 0.0) {
+    throw std::invalid_argument("LinearConveyor: zero velocity");
+  }
+  if (travel_m <= 0.0) throw std::invalid_argument("LinearConveyor: travel <= 0");
+}
+
+util::SimTime LinearConveyor::end_time() const noexcept {
+  return start_ + util::from_seconds(travel_m_ / velocity_.norm());
+}
+
+util::Vec3 LinearConveyor::position(util::SimTime t) const {
+  if (t <= start_) return origin_;
+  const double elapsed = util::to_seconds(t - start_);
+  const double max_elapsed = travel_m_ / velocity_.norm();
+  return origin_ + velocity_ * std::min(elapsed, max_elapsed);
+}
+
+RandomWaypoint::RandomWaypoint(util::Vec3 box_min, util::Vec3 box_max,
+                               double speed_mps, util::SimDuration horizon,
+                               util::Rng& rng, util::SimDuration pause) {
+  if (speed_mps <= 0.0) throw std::invalid_argument("RandomWaypoint: speed <= 0");
+  const auto draw = [&rng, box_min, box_max] {
+    return util::Vec3{rng.uniform(box_min.x, box_max.x),
+                      rng.uniform(box_min.y, box_max.y),
+                      rng.uniform(box_min.z, box_max.z)};
+  };
+  util::SimTime now{0};
+  util::Vec3 here = draw();
+  while (now < util::SimTime{0} + horizon) {
+    const util::Vec3 next = draw();
+    const double leg_m = util::distance(here, next);
+    const auto travel = util::from_seconds(leg_m / speed_mps);
+    segments_.push_back({now, now + travel, here, next});
+    now += travel + pause;
+    here = next;
+  }
+  if (segments_.empty()) {
+    segments_.push_back({util::SimTime{0}, util::SimTime{0}, here, here});
+  }
+}
+
+util::Vec3 RandomWaypoint::position(util::SimTime t) const {
+  // Before the first segment: hold the start point.
+  if (t <= segments_.front().start) return segments_.front().from;
+  for (const auto& seg : segments_) {
+    if (t <= seg.start) continue;
+    if (t <= seg.end) {
+      const double total = util::to_seconds(seg.end - seg.start);
+      const double frac =
+          total > 0.0 ? util::to_seconds(t - seg.start) / total : 1.0;
+      return seg.from + (seg.to - seg.from) * frac;
+    }
+  }
+  // During a pause between segments or after the horizon: last arrival.
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    if (t > it->end) return it->to;
+  }
+  return segments_.back().to;
+}
+
+}  // namespace tagwatch::sim

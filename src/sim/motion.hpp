@@ -1,0 +1,137 @@
+// Kinematic motion models for tags and environmental objects.
+//
+// Each testbed scenario in the paper maps to a model here:
+//   * toy train on a circular/oval track (Fig. 1, §7.1, §7.3) — CircularTrack
+//   * spinning turntable carrying mobile tags (§7.3)          — CircularTrack
+//   * conveyor transporting baggage through TrackPoint (§2.4) — LinearConveyor
+//   * people walking around the office (§7.1)                 — RandomWaypoint
+//   * "move a tag away by 1–5 cm" sensitivity test (§7.1)     — StepDisplacement
+#pragma once
+
+#include <memory>
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace tagwatch::sim {
+
+/// A trajectory: position as a function of simulation time.
+///
+/// Models are immutable after construction (position is a pure function of
+/// time), which keeps the discrete-event simulation replayable.
+class MotionModel {
+ public:
+  virtual ~MotionModel() = default;
+
+  /// Position at simulation time `t`.
+  virtual util::Vec3 position(util::SimTime t) const = 0;
+
+  /// True if the object can move at all (used as ground truth for the
+  /// motion-detection benches).  A model may be instantaneously still and
+  /// yet mobile (e.g. a conveyor item before its start time).
+  virtual bool is_mobile() const = 0;
+
+  /// Ground-truth "was displaced more than eps between t0 and t1".
+  bool moved_between(util::SimTime t0, util::SimTime t1,
+                     double eps_m = 1e-4) const {
+    return util::distance(position(t0), position(t1)) > eps_m;
+  }
+};
+
+/// Never moves.
+class StaticMotion final : public MotionModel {
+ public:
+  explicit StaticMotion(util::Vec3 pos) : pos_(pos) {}
+  util::Vec3 position(util::SimTime) const override { return pos_; }
+  bool is_mobile() const override { return false; }
+
+ private:
+  util::Vec3 pos_;
+};
+
+/// Uniform circular motion: the toy train on its track, or a tag on a
+/// spinning turntable.
+class CircularTrack final : public MotionModel {
+ public:
+  /// `radius_m` track radius, `speed_mps` tangential speed,
+  /// `center` track center, `phase0_rad` starting angle.
+  CircularTrack(util::Vec3 center, double radius_m, double speed_mps,
+                double phase0_rad = 0.0);
+
+  util::Vec3 position(util::SimTime t) const override;
+  bool is_mobile() const override { return speed_mps_ != 0.0; }
+
+  double radius_m() const noexcept { return radius_m_; }
+  double speed_mps() const noexcept { return speed_mps_; }
+
+ private:
+  util::Vec3 center_;
+  double radius_m_;
+  double speed_mps_;
+  double phase0_rad_;
+};
+
+/// Straight-line constant-velocity motion that starts at `start_time` and
+/// stops (object leaves or halts) after traveling `travel_m`.  Models a
+/// parcel riding a conveyor past the TrackPoint gate.
+class LinearConveyor final : public MotionModel {
+ public:
+  LinearConveyor(util::Vec3 origin, util::Vec3 velocity_mps,
+                 util::SimTime start_time, double travel_m);
+
+  util::Vec3 position(util::SimTime t) const override;
+  bool is_mobile() const override { return true; }
+
+  util::SimTime start_time() const noexcept { return start_; }
+  util::SimTime end_time() const noexcept;
+
+ private:
+  util::Vec3 origin_;
+  util::Vec3 velocity_;
+  util::SimTime start_;
+  double travel_m_;
+};
+
+/// Piecewise-linear walk between random waypoints inside an axis-aligned
+/// box — office workers moving around (multipath generators).
+/// The waypoint sequence is drawn once at construction from `rng`, so the
+/// trajectory is a deterministic function of time afterwards.
+class RandomWaypoint final : public MotionModel {
+ public:
+  RandomWaypoint(util::Vec3 box_min, util::Vec3 box_max, double speed_mps,
+                 util::SimDuration horizon, util::Rng& rng,
+                 util::SimDuration pause = util::sec(1));
+
+  util::Vec3 position(util::SimTime t) const override;
+  bool is_mobile() const override { return true; }
+
+ private:
+  struct Segment {
+    util::SimTime start;
+    util::SimTime end;   // arrival at `to`; position holds at `to` until next
+    util::Vec3 from;
+    util::Vec3 to;
+  };
+  std::vector<Segment> segments_;
+};
+
+/// Stationary until `step_time`, then instantly displaced by `offset` and
+/// stationary again — the §7.1 sensitivity experiment (1–5 cm moves).
+class StepDisplacement final : public MotionModel {
+ public:
+  StepDisplacement(util::Vec3 origin, util::Vec3 offset, util::SimTime step_time)
+      : origin_(origin), offset_(offset), step_(step_time) {}
+
+  util::Vec3 position(util::SimTime t) const override {
+    return t < step_ ? origin_ : origin_ + offset_;
+  }
+  bool is_mobile() const override { return true; }
+
+ private:
+  util::Vec3 origin_;
+  util::Vec3 offset_;
+  util::SimTime step_;
+};
+
+}  // namespace tagwatch::sim

@@ -1,0 +1,280 @@
+#include "track/hologram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/circular.hpp"
+#include "util/stats.hpp"
+
+namespace tagwatch::track {
+
+HologramTracker::HologramTracker(TrackerConfig config,
+                                 std::vector<rf::Antenna> antennas,
+                                 rf::ChannelPlan plan)
+    : config_(config), antennas_(std::move(antennas)), plan_(std::move(plan)) {
+  if (antennas_.size() < 2) {
+    throw std::invalid_argument("HologramTracker: need >= 2 antennas");
+  }
+  if (config_.coarse_step_m <= 0.0) {
+    throw std::invalid_argument("HologramTracker: bad grid step");
+  }
+}
+
+const rf::Antenna& HologramTracker::antenna_by_id(rf::AntennaId id) const {
+  for (const auto& a : antennas_) {
+    if (a.id == id) return a;
+  }
+  throw std::invalid_argument("HologramTracker: unknown antenna id");
+}
+
+std::vector<HologramTracker::Pair> HologramTracker::make_pairs(
+    const std::vector<const rf::TagReading*>& window) const {
+  std::vector<Pair> pairs;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    for (std::size_t j = i + 1; j < window.size(); ++j) {
+      const rf::TagReading* a = window[i];
+      const rf::TagReading* b = window[j];
+      if (a->antenna == b->antenna) continue;      // need spatial diversity
+      if (a->channel != b->channel) continue;      // phases only compare per λ
+      const auto dt = (a->timestamp > b->timestamp) ? a->timestamp - b->timestamp
+                                                    : b->timestamp - a->timestamp;
+      if (dt > config_.pair_max_dt) continue;
+      pairs.push_back({a, b, plan_.wavelength_m(a->channel)});
+    }
+  }
+  return pairs;
+}
+
+double HologramTracker::score(const std::vector<Pair>& pairs, util::Vec3 p,
+                              util::Vec3 velocity, util::SimTime t_ref) const {
+  double sum_sq = 0.0;
+  for (const auto& pair : pairs) {
+    const util::Vec3 pa =
+        p + velocity * util::to_seconds(pair.a->timestamp - t_ref);
+    const util::Vec3 pb =
+        p + velocity * util::to_seconds(pair.b->timestamp - t_ref);
+    const double da = util::distance(antenna_by_id(pair.a->antenna).position, pa);
+    const double db = util::distance(antenna_by_id(pair.b->antenna).position, pb);
+    // Physical convention: the received backscatter phase is −4πd/λ (+ tag
+    // offset), so the differential is −4π(da−db)/λ.  Getting the sign wrong
+    // tracks the mirror image of the trajectory.
+    const double predicted =
+        util::wrap_to_2pi(-4.0 * std::numbers::pi * (da - db) / pair.wavelength_m);
+    const double measured =
+        util::wrap_to_2pi(pair.a->phase_rad - pair.b->phase_rad);
+    const double r = util::circular_distance(measured, predicted);
+    sum_sq += r * r;
+  }
+  return sum_sq;
+}
+
+std::optional<TrackEstimate> HologramTracker::locate(
+    std::vector<const rf::TagReading*> window,
+    std::optional<util::Vec3> around, std::optional<double> radius_m,
+    util::Vec3 velocity) const {
+  const std::vector<Pair> pairs = make_pairs(window);
+  if (pairs.size() < config_.min_pairs) return std::nullopt;
+
+  util::SimTime t_min = window.front()->timestamp;
+  util::SimTime t_max = window.front()->timestamp;
+  for (const auto* r : window) {
+    t_min = std::min(t_min, r->timestamp);
+    t_max = std::max(t_max, r->timestamp);
+  }
+  const util::SimTime t_ref = t_min + (t_max - t_min) / 2;
+
+  // Multi-resolution grid search, optionally confined near `around`.
+  // Clamp the coarse step below a quarter fringe so no lobe is skipped.
+  double lo_x = config_.min_x, hi_x = config_.max_x;
+  double lo_y = config_.min_y, hi_y = config_.max_y;
+  double step = std::min(config_.coarse_step_m, 0.012);
+  if (around) {
+    const double radius = radius_m.value_or(config_.continuity_radius_m);
+    lo_x = std::max(lo_x, around->x - radius);
+    hi_x = std::min(hi_x, around->x + radius);
+    lo_y = std::max(lo_y, around->y - radius);
+    hi_y = std::min(hi_y, around->y + radius);
+    step = std::min(step, std::max(radius / 6.0, 1e-3));
+  }
+
+  // Velocity hypotheses: the caller's estimate plus, when enabled, a polar
+  // sweep of headings × speeds (DAH-style motion augmentation).
+  std::vector<util::Vec3> velocities{velocity};
+  if (config_.search_velocity && config_.max_speed_mps > 0.0) {
+    velocities.push_back({0.0, 0.0, 0.0});
+    for (int dir = 0; dir < 8; ++dir) {
+      const double heading = static_cast<double>(dir) * util::kTwoPi / 8.0;
+      for (const double frac : {0.35, 0.7, 1.0}) {
+        const double speed = frac * config_.max_speed_mps;
+        velocities.push_back(
+            {speed * std::cos(heading), speed * std::sin(heading), 0.0});
+      }
+    }
+  }
+
+  // Coarse scan per hypothesis, keeping the best few spatially distinct
+  // cells.  The score surface has side lobes whose coarse-sampled score can
+  // undercut the coarse-sampled true peak (a grid cell lands millimeters
+  // off the true minimum and pays a fringe-scale residual), so refining
+  // only the single best cell locks onto lobes; refining the top seeds and
+  // keeping the best *refined* score is robust.
+  struct Seed {
+    util::Vec3 p;
+    double s;
+  };
+  // Joint (position, velocity) hypotheses are underdetermined from a short
+  // window alone (a heading error masquerades as a position shift with
+  // near-zero phase residual), so a continuity prior anchored on `around`
+  // breaks the tie: deviating by the full search radius costs as much as a
+  // 0.3 rad residual on every pair.
+  const double prior_radius =
+      around ? radius_m.value_or(config_.continuity_radius_m) : 0.0;
+  const auto penalized = [&](util::Vec3 p, util::Vec3 vel) {
+    double s = score(pairs, p, vel, t_ref);
+    if (around && prior_radius > 0.0) {
+      const double d = util::distance(p, *around) / prior_radius;
+      s += static_cast<double>(pairs.size()) * config_.continuity_prior_weight * d * d;
+    }
+    return s;
+  };
+
+  util::Vec3 best{0.0, 0.0, config_.plane_z};
+  util::Vec3 best_vel{};
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const util::Vec3 vel : velocities) {
+    std::vector<Seed> cells;
+    for (double x = lo_x; x <= hi_x + 1e-9; x += step) {
+      for (double y = lo_y; y <= hi_y + 1e-9; y += step) {
+        const util::Vec3 p{x, y, config_.plane_z};
+        cells.push_back({p, penalized(p, vel)});
+      }
+    }
+    std::sort(cells.begin(), cells.end(),
+              [](const Seed& a, const Seed& b) { return a.s < b.s; });
+    std::vector<Seed> seeds;
+    for (const auto& cell : cells) {
+      if (seeds.size() >= 8) break;
+      const bool near_existing =
+          std::any_of(seeds.begin(), seeds.end(), [&](const Seed& s) {
+            return util::distance(s.p, cell.p) < 2.0 * step;
+          });
+      if (!near_existing) seeds.push_back(cell);
+    }
+
+    for (const auto& seed : seeds) {
+      util::Vec3 local_best = seed.p;
+      double local_score = seed.s;
+      double zoom = step;
+      for (std::size_t level = 0; level < config_.refine_levels + 1; ++level) {
+        for (double x = local_best.x - zoom; x <= local_best.x + zoom + 1e-9;
+             x += zoom / 4.0) {
+          for (double y = local_best.y - zoom; y <= local_best.y + zoom + 1e-9;
+               y += zoom / 4.0) {
+            const util::Vec3 p{x, y, config_.plane_z};
+            const double s = penalized(p, vel);
+            if (s < local_score) {
+              local_score = s;
+              local_best = p;
+            }
+          }
+        }
+        zoom /= 4.0;
+      }
+      if (local_score < best_score) {
+        best_score = local_score;
+        best = local_best;
+        best_vel = vel;
+      }
+    }
+  }
+
+  TrackEstimate est;
+  est.time = t_ref;
+  est.position = best;
+  // Report the raw (prior-free) RMS residual of the chosen solution.
+  est.residual_rad = std::sqrt(score(pairs, best, best_vel, t_ref) /
+                               static_cast<double>(pairs.size()));
+  est.pair_count = pairs.size();
+  return est;
+}
+
+std::vector<TrackEstimate> HologramTracker::track(
+    const std::vector<rf::TagReading>& readings) const {
+  std::vector<TrackEstimate> out;
+  if (readings.empty()) return out;
+
+  std::vector<const rf::TagReading*> sorted;
+  sorted.reserve(readings.size());
+  for (const auto& r : readings) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const rf::TagReading* a, const rf::TagReading* b) {
+              return a->timestamp < b->timestamp;
+            });
+
+  const util::SimTime t_begin = sorted.front()->timestamp;
+  const util::SimTime t_end = sorted.back()->timestamp;
+  std::size_t lo = 0;
+  std::optional<util::Vec3> previous = config_.initial_hint;
+  util::SimTime previous_time = t_begin;
+  util::Vec3 velocity{};  // estimated from consecutive fixes
+  for (util::SimTime t = t_begin; t + config_.window <= t_end + config_.stride;
+       t += config_.stride) {
+    while (lo < sorted.size() && sorted[lo]->timestamp < t) ++lo;
+    std::vector<const rf::TagReading*> window;
+    for (std::size_t i = lo;
+         i < sorted.size() && sorted[i]->timestamp < t + config_.window; ++i) {
+      window.push_back(sorted[i]);
+    }
+    if (window.size() < 2) continue;
+    // The search box grows with the time since the last fix: a low reading
+    // rate widens the box and lets grating lobes back in — the mechanism
+    // by which accuracy decays when the IRR drops (Fig. 1).
+    const double elapsed_s =
+        util::to_seconds((t + config_.window / 2) - previous_time);
+    const double radius = std::max(config_.continuity_radius_m,
+                                   config_.max_speed_mps * elapsed_s);
+    // Anchor the prior on the motion-predicted position, not the stale fix:
+    // a trailing anchor biases the prior toward grating lobes behind the tag.
+    std::optional<util::Vec3> anchor = previous;
+    if (anchor) *anchor = *anchor + velocity * elapsed_s;
+    if (auto est = locate(std::move(window), anchor, radius, velocity)) {
+      // Kinematic outlier rejection: a fix implying super-max speed is a
+      // grating-lobe jump, not motion.  Drop it and let the search radius
+      // grow until the track reacquires.
+      if (previous && est->time > previous_time) {
+        const double implied_speed =
+            util::distance(est->position, *previous) /
+            std::max(util::to_seconds(est->time - previous_time), 1e-3);
+        if (implied_speed > 1.3 * config_.max_speed_mps) continue;
+      }
+      if (previous && est->time > previous_time) {
+        // Velocity from consecutive fixes, exponentially smoothed (single
+        // differences of overlapping windows are noisy) and clamped to the
+        // speed bound, for motion compensation of the next estimate.
+        const double dt = util::to_seconds(est->time - previous_time);
+        util::Vec3 v = (est->position - *previous) * (1.0 / dt);
+        const double speed = v.norm();
+        if (speed > config_.max_speed_mps) {
+          v = v * (config_.max_speed_mps / speed);
+        }
+        velocity = v;
+      }
+      out.push_back(*est);
+      previous = est->position;  // motion continuity anchors the next window
+      previous_time = est->time;
+    }
+  }
+  return out;
+}
+
+TrackingAccuracy tracking_accuracy(const std::vector<TrackEstimate>& estimates,
+                                   const sim::MotionModel& truth) {
+  util::RunningStats stats;
+  for (const auto& est : estimates) {
+    stats.add(util::distance(est.position, truth.position(est.time)));
+  }
+  return {stats.mean(), stats.stddev(), stats.count()};
+}
+
+}  // namespace tagwatch::track

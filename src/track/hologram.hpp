@@ -1,0 +1,132 @@
+// Phase-hologram tag localization (application substrate for Fig. 1/§7.3).
+//
+// Stands in for the paper's Differential Augmented Hologram tracker [30]:
+// within a sliding time window, readings of one tag from different antennas
+// on the same frequency channel are paired; each pair contributes a
+// differential phase  Δθ = θ_a − θ_b ≡ 4π(d_a − d_b)/λ (mod 2π), which is
+// independent of the tag's unknown backscatter phase offset.  A
+// multi-resolution grid search finds the position whose predicted
+// differentials best match the measurements.  The estimator's accuracy
+// degrades as the reading rate falls — the dependence Fig. 1 demonstrates.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rf/channel_plan.hpp"
+#include "rf/channel.hpp"
+#include "rf/measurement.hpp"
+#include "sim/motion.hpp"
+#include "util/geometry.hpp"
+
+namespace tagwatch::track {
+
+/// Tracker tuning.
+struct TrackerConfig {
+  /// Search region (axis-aligned, in the z = `plane_z` plane).
+  double min_x = -1.0;
+  double max_x = 1.0;
+  double min_y = -1.0;
+  double max_y = 1.0;
+  double plane_z = 0.0;
+  /// Coarse grid step in meters; two refinement passes shrink it 5× each.
+  /// Internally clamped to a quarter fringe (~1.2 cm at UHF): the score
+  /// surface oscillates on the fringe scale, so coarser sampling can land
+  /// in a side lobe and refine into it.
+  double coarse_step_m = 0.012;
+  std::size_t refine_levels = 2;
+  /// Window of readings fused into one position estimate.  Point fusion is
+  /// only phase-coherent while the tag moves ≪ λ/4 within the window, so
+  /// windows must be short — which is precisely why tracking quality hinges
+  /// on a high reading rate (Fig. 1).
+  util::SimDuration window = util::msec(100);
+  /// Stride between successive estimates.
+  util::SimDuration stride = util::msec(50);
+  /// Maximum time separation of a cross-antenna reading pair; bounds the
+  /// motion-induced model error of a pair.
+  util::SimDuration pair_max_dt = util::msec(60);
+  /// Minimum number of differential pairs required to emit an estimate.
+  std::size_t min_pairs = 2;
+  /// Known starting position.  Narrowband differential phase has grating
+  /// lobes (positions ~λ/2 of path difference apart score identically), so
+  /// like the paper's §7.3 ("we fix the initial position at a known point")
+  /// the tracker anchors the search and then exploits motion continuity.
+  std::optional<util::Vec3> initial_hint;
+  /// Minimum half-width of the local search box around the previous
+  /// estimate; grows with elapsed time × max_speed when windows are
+  /// skipped (low reading rate), which is how tracking degrades gracefully
+  /// instead of snapping to a grating lobe.
+  double continuity_radius_m = 0.15;
+  /// Upper bound on how fast the tracked object can move.
+  double max_speed_mps = 1.0;
+  /// Strength of the continuity prior: deviating from the anchored
+  /// position by the full search radius costs `weight` rad² of residual on
+  /// every pair.  Assumes continuity-grade anchors (within a few cm, as
+  /// track() maintains); weaken it for coarse one-shot anchors.
+  double continuity_prior_weight = 0.25;
+  /// Jointly hypothesize the within-window velocity (8 headings × 3 speeds
+  /// up to max_speed_mps) in addition to the caller-supplied estimate —
+  /// the "augmented" dimension of the DAH tracker.  Without it, the
+  /// motion-induced phase error of the first windows (no velocity estimate
+  /// yet) routinely exceeds a fringe and tracking never locks.
+  bool search_velocity = true;
+};
+
+/// One position estimate.
+struct TrackEstimate {
+  util::SimTime time{0};        ///< Window center.
+  util::Vec3 position;          ///< Estimated tag position.
+  double residual_rad = 0.0;    ///< RMS differential-phase residual.
+  std::size_t pair_count = 0;   ///< Differential pairs supporting it.
+};
+
+/// Sliding-window differential-phase grid localizer.
+class HologramTracker {
+ public:
+  HologramTracker(TrackerConfig config, std::vector<rf::Antenna> antennas,
+                  rf::ChannelPlan plan);
+
+  /// Estimates the trajectory of one tag from its time-ordered readings.
+  /// Windows with too few cross-antenna pairs produce no estimate.
+  std::vector<TrackEstimate> track(
+      const std::vector<rf::TagReading>& readings) const;
+
+  /// Single-window estimate.  If `around` is given, the search is confined
+  /// to a box of half-width `radius_m` (default: continuity_radius_m)
+  /// about it (alias suppression); otherwise the full region is scanned.
+  /// `velocity` augments the hologram: each reading is evaluated at
+  /// p + velocity·(t − t_mid), compensating intra-window motion (the
+  /// "augmented" idea of the paper's DAH tracker [30]).
+  std::optional<TrackEstimate> locate(
+      std::vector<const rf::TagReading*> window,
+      std::optional<util::Vec3> around = std::nullopt,
+      std::optional<double> radius_m = std::nullopt,
+      util::Vec3 velocity = {}) const;
+
+ private:
+  struct Pair {
+    const rf::TagReading* a;
+    const rf::TagReading* b;
+    double wavelength_m;
+  };
+  std::vector<Pair> make_pairs(
+      const std::vector<const rf::TagReading*>& window) const;
+  double score(const std::vector<Pair>& pairs, util::Vec3 p,
+               util::Vec3 velocity, util::SimTime t_ref) const;
+  const rf::Antenna& antenna_by_id(rf::AntennaId id) const;
+
+  TrackerConfig config_;
+  std::vector<rf::Antenna> antennas_;
+  rf::ChannelPlan plan_;
+};
+
+/// Mean/stddev Euclidean error of estimates against ground truth.
+struct TrackingAccuracy {
+  double mean_error_m = 0.0;
+  double stddev_error_m = 0.0;
+  std::size_t estimates = 0;
+};
+TrackingAccuracy tracking_accuracy(const std::vector<TrackEstimate>& estimates,
+                                   const sim::MotionModel& truth);
+
+}  // namespace tagwatch::track

@@ -1,0 +1,139 @@
+#include "util/bitstring.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace tagwatch::util {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+BitString::BitString(std::size_t length)
+    : size_(length), words_(word_count(length), 0) {}
+
+BitString::BitString(std::uint64_t value, std::size_t length) : BitString(length) {
+  if (length > 64) throw std::invalid_argument("BitString(value): length > 64");
+  for (std::size_t i = 0; i < length; ++i) {
+    set_bit(i, ((value >> (length - 1 - i)) & 1u) != 0);
+  }
+}
+
+BitString BitString::from_binary(std::string_view bits) {
+  BitString out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') {
+      out.set_bit(i, true);
+    } else if (bits[i] != '0') {
+      throw std::invalid_argument("BitString::from_binary: bad character");
+    }
+  }
+  return out;
+}
+
+BitString BitString::from_hex(std::string_view hex) {
+  BitString out(hex.size() * 4);
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    const int d = hex_digit(hex[i]);
+    if (d < 0) throw std::invalid_argument("BitString::from_hex: bad digit");
+    for (std::size_t b = 0; b < 4; ++b) {
+      out.set_bit(i * 4 + b, ((d >> (3 - b)) & 1) != 0);
+    }
+  }
+  return out;
+}
+
+bool BitString::bit(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("BitString::bit");
+  return ((words_[i / 64] >> (63 - i % 64)) & 1u) != 0;
+}
+
+void BitString::set_bit(std::size_t i, bool value) {
+  if (i >= size_) throw std::out_of_range("BitString::set_bit");
+  const std::uint64_t mask = std::uint64_t{1} << (63 - i % 64);
+  if (value) {
+    words_[i / 64] |= mask;
+  } else {
+    words_[i / 64] &= ~mask;
+  }
+}
+
+BitString BitString::substring(std::size_t pointer, std::size_t length) const {
+  if (pointer + length > size_) throw std::out_of_range("BitString::substring");
+  BitString out(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.set_bit(i, bit(pointer + i));
+  }
+  return out;
+}
+
+bool BitString::matches(std::size_t pointer, const BitString& mask) const {
+  if (pointer + mask.size() > size_) return false;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (bit(pointer + i) != mask.bit(i)) return false;
+  }
+  return true;
+}
+
+std::uint64_t BitString::to_uint64() const {
+  if (size_ > 64) throw std::logic_error("BitString::to_uint64: size > 64");
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out = (out << 1) | (bit(i) ? 1u : 0u);
+  }
+  return out;
+}
+
+std::string BitString::to_binary_string() const {
+  std::string out(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (bit(i)) out[i] = '1';
+  }
+  return out;
+}
+
+std::string BitString::to_hex_string() const {
+  if (size_ % 4 != 0) {
+    throw std::logic_error("BitString::to_hex_string: size not multiple of 4");
+  }
+  static constexpr char kDigits[] = "0123456789ABCDEF";
+  std::string out(size_ / 4, '0');
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    int v = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      v = (v << 1) | (bit(i * 4 + b) ? 1 : 0);
+    }
+    out[i] = kDigits[v];
+  }
+  return out;
+}
+
+std::strong_ordering BitString::operator<=>(const BitString& other) const {
+  const std::size_t common = std::min(size_, other.size_);
+  for (std::size_t i = 0; i < common; ++i) {
+    const bool a = bit(i);
+    const bool b = other.bit(i);
+    if (a != b) return a ? std::strong_ordering::greater : std::strong_ordering::less;
+  }
+  return size_ <=> other.size_;
+}
+
+std::size_t BitString::hash() const noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(size_);
+  for (const auto w : words_) mix(w);
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace tagwatch::util

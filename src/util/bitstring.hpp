@@ -1,0 +1,92 @@
+// Arbitrary-length bit strings with Gen2-style MSB-first bit addressing.
+//
+// EPC Gen2 addresses tag memory by bit: `Pointer` is the index of the first
+// bit (0 = most significant bit of the bank) and `Length` counts bits.  Both
+// tag EPCs and Select masks are therefore modeled as BitString values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tagwatch::util {
+
+/// A fixed-length sequence of bits with MSB-first addressing (bit 0 is the
+/// most significant bit), mirroring EPC Gen2 memory-bank addressing.
+///
+/// BitString is a regular value type: copyable, comparable, hashable.
+class BitString {
+ public:
+  /// Creates an empty (zero-length) bit string.
+  BitString() = default;
+
+  /// Creates a bit string of `length` bits, all zero.
+  explicit BitString(std::size_t length);
+
+  /// Creates a bit string from the low `length` bits of `value`,
+  /// most-significant-first (so BitString(0b101, 3) == "101").
+  BitString(std::uint64_t value, std::size_t length);
+
+  /// Parses a string of '0'/'1' characters, e.g. "001110".
+  /// Throws std::invalid_argument on any other character.
+  static BitString from_binary(std::string_view bits);
+
+  /// Parses a hexadecimal string (no prefix), 4 bits per digit,
+  /// e.g. "3000AB" -> 24 bits. Throws std::invalid_argument on bad digits.
+  static BitString from_hex(std::string_view hex);
+
+  /// Number of bits.
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Returns bit `i` (0 = MSB). Precondition: i < size().
+  bool bit(std::size_t i) const;
+
+  /// Sets bit `i` (0 = MSB). Precondition: i < size().
+  void set_bit(std::size_t i, bool value);
+
+  /// Extracts `length` bits starting at bit `pointer` as a new BitString.
+  /// Precondition: pointer + length <= size().
+  BitString substring(std::size_t pointer, std::size_t length) const;
+
+  /// True iff the `mask.size()` bits of `*this` starting at `pointer`
+  /// exist and equal `mask` — the Gen2 Select match rule.
+  bool matches(std::size_t pointer, const BitString& mask) const;
+
+  /// Interprets the whole string as an unsigned big-endian integer.
+  /// Precondition: size() <= 64.
+  std::uint64_t to_uint64() const;
+
+  /// Renders as '0'/'1' characters, MSB first.
+  std::string to_binary_string() const;
+
+  /// Renders as uppercase hex; size() must be a multiple of 4.
+  std::string to_hex_string() const;
+
+  friend bool operator==(const BitString&, const BitString&) = default;
+
+  /// Lexicographic comparison (shorter strings compare by prefix then size).
+  std::strong_ordering operator<=>(const BitString& other) const;
+
+  /// FNV-1a style hash over length and payload bits.
+  std::size_t hash() const noexcept;
+
+ private:
+  static std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
+
+  std::size_t size_ = 0;
+  // Bit i lives in words_[i / 64], at bit position (63 - i % 64): word 0 holds
+  // the most significant 64 bits, left-aligned.
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace tagwatch::util
+
+template <>
+struct std::hash<tagwatch::util::BitString> {
+  std::size_t operator()(const tagwatch::util::BitString& b) const noexcept {
+    return b.hash();
+  }
+};

@@ -1,0 +1,61 @@
+#include "util/circular.hpp"
+
+namespace tagwatch::util {
+
+double wrap_to_2pi(double angle) noexcept {
+  double wrapped = std::fmod(angle, kTwoPi);
+  if (wrapped < 0.0) wrapped += kTwoPi;
+  return wrapped;
+}
+
+double circular_signed_diff(double a, double b) noexcept {
+  double d = wrap_to_2pi(a) - wrap_to_2pi(b);
+  if (d > std::numbers::pi) d -= kTwoPi;
+  if (d <= -std::numbers::pi) d += kTwoPi;
+  return d;
+}
+
+double circular_distance(double a, double b) noexcept {
+  return std::abs(circular_signed_diff(a, b));
+}
+
+double circular_lerp(double from, double to, double t) noexcept {
+  return wrap_to_2pi(from + t * circular_signed_diff(to, from));
+}
+
+void CircularStats::add(double angle) noexcept {
+  const double wrapped = wrap_to_2pi(angle);
+  sum_cos_ += std::cos(wrapped);
+  sum_sin_ += std::sin(wrapped);
+  ++n_;
+  if (n_ == 1) {
+    running_mean_ = wrapped;
+    m2_ = 0.0;
+  } else {
+    // Welford's algorithm on the circle: deltas are minimum-distance
+    // residuals, and the running mean moves along the shortest arc.
+    const double delta = circular_signed_diff(wrapped, running_mean_);
+    running_mean_ = wrap_to_2pi(running_mean_ + delta / static_cast<double>(n_));
+    const double delta2 = circular_signed_diff(wrapped, running_mean_);
+    m2_ += delta * delta2;
+  }
+}
+
+double CircularStats::mean() const noexcept {
+  if (n_ == 0) return 0.0;
+  return wrap_to_2pi(std::atan2(sum_sin_, sum_cos_));
+}
+
+double CircularStats::stddev() const noexcept {
+  if (n_ < 2) return 0.0;
+  const double var = m2_ / static_cast<double>(n_);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double CircularStats::resultant_length() const noexcept {
+  if (n_ == 0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return std::sqrt(sum_cos_ * sum_cos_ + sum_sin_ * sum_sin_) / n;
+}
+
+}  // namespace tagwatch::util

@@ -1,0 +1,24 @@
+#include "util/epc.hpp"
+
+#include "util/rng.hpp"
+
+namespace tagwatch::util {
+
+Epc Epc::from_serial(std::uint64_t serial, std::size_t length) {
+  BitString bits(length);
+  const std::size_t low = std::min<std::size_t>(length, 64);
+  for (std::size_t i = 0; i < low; ++i) {
+    bits.set_bit(length - 1 - i, ((serial >> i) & 1u) != 0);
+  }
+  return Epc(bits);
+}
+
+Epc Epc::random(Rng& rng, std::size_t length) {
+  BitString bits(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    bits.set_bit(i, rng.chance(0.5));
+  }
+  return Epc(bits);
+}
+
+}  // namespace tagwatch::util

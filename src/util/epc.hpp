@@ -1,0 +1,70 @@
+// Electronic Product Code identifiers (EPC Gen2 EPC-bank contents).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/bitstring.hpp"
+
+namespace tagwatch::util {
+
+class Rng;
+
+/// An EPC identifier: the bit contents of a tag's EPC memory bank (typically
+/// 96 or 128 bits).  Thin strong type over BitString with EPC conveniences.
+class Epc {
+ public:
+  /// Standard EPC lengths used throughout the paper's evaluation.
+  static constexpr std::size_t kBits96 = 96;
+  static constexpr std::size_t kBits128 = 128;
+
+  /// All-zero EPC of `length` bits (default 96).
+  explicit Epc(std::size_t length = kBits96) : bits_(length) {}
+
+  /// Wraps an existing bit string as an EPC.
+  explicit Epc(BitString bits) : bits_(std::move(bits)) {}
+
+  /// Builds a 96-bit EPC whose low bits encode `serial` — handy for tests
+  /// and benches that need distinct, human-readable identifiers.
+  static Epc from_serial(std::uint64_t serial, std::size_t length = kBits96);
+
+  /// Parses a hex EPC string, e.g. "300833B2DDD9014000000001".
+  static Epc from_hex(std::string_view hex) { return Epc(BitString::from_hex(hex)); }
+
+  /// Draws a uniformly random EPC of `length` bits.
+  static Epc random(Rng& rng, std::size_t length = kBits96);
+
+  /// Underlying bits (Gen2 MSB-first addressing).
+  const BitString& bits() const noexcept { return bits_; }
+  std::size_t size() const noexcept { return bits_.size(); }
+
+  /// Gen2 Select match: do the bits at [pointer, pointer+mask.size()) equal
+  /// `mask`?
+  bool matches(std::size_t pointer, const BitString& mask) const {
+    return bits_.matches(pointer, mask);
+  }
+
+  std::string to_hex() const { return bits_.to_hex_string(); }
+  std::string to_binary() const { return bits_.to_binary_string(); }
+
+  friend bool operator==(const Epc&, const Epc&) = default;
+  std::strong_ordering operator<=>(const Epc& other) const {
+    return bits_ <=> other.bits_;
+  }
+
+  std::size_t hash() const noexcept { return bits_.hash(); }
+
+ private:
+  BitString bits_;
+};
+
+}  // namespace tagwatch::util
+
+template <>
+struct std::hash<tagwatch::util::Epc> {
+  std::size_t operator()(const tagwatch::util::Epc& e) const noexcept {
+    return e.hash();
+  }
+};

@@ -1,0 +1,32 @@
+// 3-D points/vectors for antenna and tag placement.
+#pragma once
+
+#include <cmath>
+
+namespace tagwatch::util {
+
+/// A 3-D point or displacement in meters.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(Vec3 a, double s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a * s; }
+  friend constexpr bool operator==(Vec3, Vec3) = default;
+
+  double norm() const { return std::sqrt(x * x + y * y + z * z); }
+};
+
+/// Euclidean distance in meters.
+inline double distance(Vec3 a, Vec3 b) { return (a - b).norm(); }
+
+}  // namespace tagwatch::util

@@ -1,0 +1,80 @@
+#include "util/indicator_bitmap.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace tagwatch::util {
+
+IndicatorBitmap::IndicatorBitmap(std::size_t size)
+    : size_(size), words_((size + 63) / 64, 0) {}
+
+bool IndicatorBitmap::test(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("IndicatorBitmap::test");
+  return ((words_[i / 64] >> (i % 64)) & 1u) != 0;
+}
+
+void IndicatorBitmap::set(std::size_t i, bool value) {
+  if (i >= size_) throw std::out_of_range("IndicatorBitmap::set");
+  const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+  if (value) {
+    words_[i / 64] |= mask;
+  } else {
+    words_[i / 64] &= ~mask;
+  }
+}
+
+std::size_t IndicatorBitmap::count() const noexcept {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t IndicatorBitmap::and_count(const IndicatorBitmap& other) const {
+  check_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+void IndicatorBitmap::subtract(const IndicatorBitmap& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+}
+
+void IndicatorBitmap::merge(const IndicatorBitmap& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+std::string IndicatorBitmap::to_string() const {
+  std::string out(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (test(i)) out[i] = '1';
+  }
+  return out;
+}
+
+std::size_t IndicatorBitmap::hash() const noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(size_);
+  for (const auto w : words_) mix(w);
+  return static_cast<std::size_t>(h);
+}
+
+void IndicatorBitmap::check_same_size(const IndicatorBitmap& other) const {
+  if (size_ != other.size_) {
+    throw std::invalid_argument("IndicatorBitmap: size mismatch");
+  }
+}
+
+}  // namespace tagwatch::util

@@ -1,0 +1,66 @@
+// Indicator bitmaps for the bitmask-selection index table (§5.3, Fig. 10).
+//
+// One bit per tag in the scene; bit i is set when the associated bitmask
+// covers tag i.  The greedy set-cover search needs fast AND-popcount and
+// subtraction, so the bitmap packs bits into 64-bit words.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tagwatch::util {
+
+/// Fixed-size bitset over the tags currently in the scene.
+class IndicatorBitmap {
+ public:
+  IndicatorBitmap() = default;
+
+  /// Creates an all-zero bitmap over `size` tags.
+  explicit IndicatorBitmap(std::size_t size);
+
+  std::size_t size() const noexcept { return size_; }
+
+  bool test(std::size_t i) const;
+  void set(std::size_t i, bool value = true);
+
+  /// Number of set bits.
+  std::size_t count() const noexcept;
+  bool any() const noexcept { return count() > 0; }
+  bool none() const noexcept { return !any(); }
+
+  /// Popcount of (*this & other) — the |V_i & V| term of the relative gain
+  /// (Eqn. 13).  Precondition: same size.
+  std::size_t and_count(const IndicatorBitmap& other) const;
+
+  /// Clears every bit that is set in `other`: V ← V − (V & other), the
+  /// input-bitmap update of the greedy search (Step 3).
+  void subtract(const IndicatorBitmap& other);
+
+  /// In-place union.  Precondition: same size.
+  void merge(const IndicatorBitmap& other);
+
+  friend bool operator==(const IndicatorBitmap&, const IndicatorBitmap&) = default;
+
+  /// Renders as '0'/'1' characters, tag 0 first (diagnostics).
+  std::string to_string() const;
+
+  std::size_t hash() const noexcept;
+
+ private:
+  void check_same_size(const IndicatorBitmap& other) const;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace tagwatch::util
+
+template <>
+struct std::hash<tagwatch::util::IndicatorBitmap> {
+  std::size_t operator()(const tagwatch::util::IndicatorBitmap& b) const noexcept {
+    return b.hash();
+  }
+};

@@ -1,0 +1,25 @@
+// Small linear least-squares solvers for model fitting.
+//
+// The paper fits the two unknown parameters of the inventory-cost model
+// C(n) = τ0 + n·e·ln(n)·τ̄ to measured data by least squares (§2.3, §6).
+// Because C is linear in (τ0, τ̄), a 2-parameter linear solve suffices.
+#pragma once
+
+#include <span>
+#include <utility>
+
+namespace tagwatch::util {
+
+/// Result of a straight-line fit y ≈ intercept + slope · x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 means a perfect fit.
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares for y = intercept + slope · x.
+/// Precondition: xs.size() == ys.size() >= 2 and xs not all equal.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace tagwatch::util

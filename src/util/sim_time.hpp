@@ -1,0 +1,38 @@
+// Simulated-time types.
+//
+// The whole system runs on a discrete-event clock with microsecond
+// resolution; nothing touches the wall clock, so experiments are
+// deterministic and a "4-hour" trace takes milliseconds to generate.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tagwatch::util {
+
+/// A point on the simulation clock (microseconds since experiment start).
+using SimTime = std::chrono::microseconds;
+
+/// A span of simulated time.
+using SimDuration = std::chrono::microseconds;
+
+constexpr SimDuration usec(std::int64_t n) { return SimDuration(n); }
+constexpr SimDuration msec(std::int64_t n) { return SimDuration(n * 1000); }
+constexpr SimDuration sec(std::int64_t n) { return SimDuration(n * 1'000'000); }
+
+/// Converts a duration to fractional seconds (for rate computations).
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+
+/// Converts a duration to fractional milliseconds (for table output).
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d.count()) / 1e3;
+}
+
+/// Converts fractional seconds to a SimDuration (rounds to microseconds).
+constexpr SimDuration from_seconds(double s) {
+  return SimDuration(static_cast<std::int64_t>(s * 1e6));
+}
+
+}  // namespace tagwatch::util

@@ -1,0 +1,115 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tagwatch::util {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = x;
+    m2_ = 0.0;
+    min_ = max_ = x;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q out of range");
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
+                                    std::size_t max_points) {
+  std::vector<CdfPoint> out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  const std::size_t points = std::min(max_points, n);
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Evenly spaced indices that always include the final order statistic.
+    const std::size_t idx = (points == 1) ? n - 1 : (i * (n - 1)) / (points - 1);
+    out.push_back({samples[idx],
+                   static_cast<double>(idx + 1) / static_cast<double>(n)});
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need bins > 0 and hi > lo");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+double jain_fairness(std::span<const double> values) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (values.empty() || sum_sq <= 0.0) {
+    throw std::invalid_argument("jain_fairness: need a positive value");
+  }
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace tagwatch::util

@@ -1,0 +1,168 @@
+// Tests for the Phase-I motion assessor.
+#include <gtest/gtest.h>
+
+#include "core/assessor.hpp"
+#include "util/circular.hpp"
+#include "util/rng.hpp"
+
+namespace tagwatch::core {
+namespace {
+
+AssessorConfig fast_config() {
+  AssessorConfig c;
+  c.detector.phase_mog.trust_count = 5;
+  return c;
+}
+
+rf::TagReading reading(std::uint64_t serial, double phase, util::SimTime t,
+                       rf::AntennaId antenna = 1) {
+  rf::TagReading r;
+  r.epc = util::Epc::from_serial(serial);
+  r.antenna = antenna;
+  r.channel = 0;
+  r.phase_rad = util::wrap_to_2pi(phase);
+  r.rssi_dbm = -55.0;
+  r.timestamp = t;
+  return r;
+}
+
+TEST(MotionAssessor, NewTagsArePresumedMobile) {
+  MotionAssessor a(fast_config());
+  a.begin_window();
+  a.ingest(reading(1, 1.0, util::msec(10)));
+  const auto mobile = a.mobile_tags(util::msec(20));
+  ASSERT_EQ(mobile.size(), 1u);
+  EXPECT_EQ(mobile[0], util::Epc::from_serial(1));
+}
+
+TEST(MotionAssessor, StationaryTagConvergesToNotMobile) {
+  MotionAssessor a(fast_config());
+  util::Rng rng(81);
+  util::SimTime t{0};
+  // Train across several windows with stable phase.
+  for (int w = 0; w < 10; ++w) {
+    a.begin_window();
+    for (int i = 0; i < 10; ++i) {
+      t += util::msec(20);
+      a.ingest(reading(1, rng.normal(2.0, 0.05), t));
+    }
+    a.assess(t);
+  }
+  a.begin_window();
+  t += util::msec(20);
+  a.ingest(reading(1, rng.normal(2.0, 0.05), t));
+  EXPECT_TRUE(a.mobile_tags(t).empty());
+}
+
+TEST(MotionAssessor, MovedTagFlagsMobileAgain) {
+  MotionAssessor a(fast_config());
+  util::Rng rng(82);
+  util::SimTime t{0};
+  for (int w = 0; w < 10; ++w) {
+    a.begin_window();
+    for (int i = 0; i < 10; ++i) {
+      t += util::msec(20);
+      a.ingest(reading(1, rng.normal(2.0, 0.05), t));
+    }
+    a.assess(t);
+  }
+  // Tag displaced: phase jumps ~1 rad.
+  a.begin_window();
+  t += util::msec(20);
+  a.ingest(reading(1, rng.normal(3.0, 0.05), t));
+  const auto mobile = a.mobile_tags(t);
+  ASSERT_EQ(mobile.size(), 1u);
+}
+
+TEST(MotionAssessor, OnlyWindowReadingsVote) {
+  MotionAssessor a(fast_config());
+  util::SimTime t{0};
+  // Reading outside any window trains but does not vote.
+  a.ingest(reading(1, 1.0, t));
+  a.begin_window();
+  const auto assessments = a.assess(t);
+  EXPECT_TRUE(assessments.empty());  // tag had no window readings
+  EXPECT_EQ(a.tracked_count(), 1u);  // but it is tracked
+}
+
+TEST(MotionAssessor, AssessmentCountsVotes) {
+  MotionAssessor a(fast_config());
+  util::Rng rng(83);
+  util::SimTime t{0};
+  for (int w = 0; w < 10; ++w) {
+    a.begin_window();
+    for (int i = 0; i < 10; ++i) {
+      t += util::msec(20);
+      a.ingest(reading(1, rng.normal(2.0, 0.05), t));
+    }
+    a.assess(t);
+  }
+  a.begin_window();
+  t += util::msec(20);
+  a.ingest(reading(1, rng.normal(2.0, 0.05), t));  // stationary vote
+  t += util::msec(20);
+  a.ingest(reading(1, 4.0, t));  // moving vote
+  const auto assessments = a.assess(t);
+  ASSERT_EQ(assessments.size(), 1u);
+  EXPECT_EQ(assessments[0].window_readings, 2u);
+  EXPECT_EQ(assessments[0].moving_votes, 1u);
+  EXPECT_TRUE(assessments[0].mobile);  // threshold = 1 vote
+}
+
+TEST(MotionAssessor, ForgetsLongGoneTags) {
+  AssessorConfig cfg = fast_config();
+  cfg.forget_after = util::sec(5);
+  MotionAssessor a(cfg);
+  a.begin_window();
+  a.ingest(reading(1, 1.0, util::msec(100)));
+  a.ingest(reading(2, 1.0, util::msec(100)));
+  a.assess(util::msec(200));
+  EXPECT_EQ(a.tracked_count(), 2u);
+  // Tag 2 keeps reporting; tag 1 disappears for > forget_after.
+  a.begin_window();
+  a.ingest(reading(2, 1.0, util::sec(8)));
+  a.assess(util::sec(8));
+  EXPECT_EQ(a.tracked_count(), 1u);
+  EXPECT_EQ(a.detector_for(util::Epc::from_serial(1)), nullptr);
+  EXPECT_NE(a.detector_for(util::Epc::from_serial(2)), nullptr);
+}
+
+TEST(MotionAssessor, MultipleTagsIndependent) {
+  MotionAssessor a(fast_config());
+  util::Rng rng(84);
+  util::SimTime t{0};
+  for (int w = 0; w < 10; ++w) {
+    a.begin_window();
+    for (int i = 0; i < 10; ++i) {
+      t += util::msec(20);
+      a.ingest(reading(1, rng.normal(2.0, 0.05), t));   // static tag
+      a.ingest(reading(2, rng.uniform(0.0, 6.28), t));  // mover
+    }
+    a.assess(t);
+  }
+  a.begin_window();
+  t += util::msec(20);
+  a.ingest(reading(1, rng.normal(2.0, 0.05), t));
+  a.ingest(reading(2, rng.uniform(0.0, 6.28), t));
+  const auto mobile = a.mobile_tags(t);
+  ASSERT_EQ(mobile.size(), 1u);
+  EXPECT_EQ(mobile[0], util::Epc::from_serial(2));
+}
+
+TEST(MotionAssessor, VoteThresholdConfigurable) {
+  AssessorConfig cfg = fast_config();
+  cfg.mobile_vote_threshold = 3;
+  MotionAssessor a(cfg);
+  a.begin_window();
+  util::SimTime t{0};
+  // Two unexplained readings: below the 3-vote threshold.
+  a.ingest(reading(1, 1.0, t));
+  a.ingest(reading(1, 3.0, t + util::msec(1)));
+  const auto assessments = a.assess(t + util::msec(2));
+  ASSERT_EQ(assessments.size(), 1u);
+  EXPECT_EQ(assessments[0].moving_votes, 2u);
+  EXPECT_FALSE(assessments[0].mobile);
+}
+
+}  // namespace
+}  // namespace tagwatch::core

@@ -1,0 +1,124 @@
+// Tests for the binary tree-splitting anti-collision policy.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen2/reader.hpp"
+#include "util/circular.hpp"
+
+namespace tagwatch::gen2 {
+namespace {
+
+struct TreeFixture {
+  sim::World world;
+  rf::RfChannel channel{rf::ChannelPlan::single(920.625e6)};
+  std::optional<Gen2Reader> reader;
+
+  explicit TreeFixture(std::size_t n_tags, double error_rate = 0.0,
+                       std::uint64_t seed = 77) {
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < n_tags; ++i) {
+      sim::SimTag t;
+      t.epc = util::Epc::from_serial(i + 1);
+      t.motion = std::make_shared<sim::StaticMotion>(
+          util::Vec3{rng.uniform(-2, 2), rng.uniform(-2, 2), 0});
+      world.add_tag(std::move(t));
+    }
+    ReaderConfig cfg;
+    cfg.policy = AntiCollisionPolicy::kBinaryTree;
+    cfg.slot_error_rate = error_rate;
+    reader.emplace(LinkTiming(LinkParams::max_throughput()), cfg, world,
+                   channel, std::vector<rf::Antenna>{{1, {0, 0, 2}, 8.0}},
+                   util::Rng(seed + 1));
+  }
+};
+
+TEST(BinaryTree, ReadsEveryTagExactlyOnce) {
+  for (const std::size_t n : {1u, 2u, 7u, 40u, 100u}) {
+    TreeFixture fx(n);
+    std::set<std::string> seen;
+    std::size_t reads = 0;
+    fx.reader->run_inventory_round(QueryCommand{},
+                                   [&](const rf::TagReading& r) {
+                                     seen.insert(r.epc.to_hex());
+                                     ++reads;
+                                   });
+    EXPECT_EQ(reads, n) << "n=" << n;
+    EXPECT_EQ(seen.size(), n) << "n=" << n;
+  }
+}
+
+TEST(BinaryTree, EmptyPopulationCostsOneProbe) {
+  TreeFixture fx(0);
+  const RoundStats stats =
+      fx.reader->run_inventory_round(QueryCommand{}, nullptr);
+  EXPECT_EQ(stats.success_slots, 0u);
+  EXPECT_EQ(stats.slots, 1u);  // the single all-tags probe slot
+}
+
+TEST(BinaryTree, SlotAccountingConsistent) {
+  TreeFixture fx(25);
+  const RoundStats stats =
+      fx.reader->run_inventory_round(QueryCommand{}, nullptr);
+  EXPECT_EQ(stats.success_slots, 25u);
+  EXPECT_EQ(stats.slots, stats.empty_slots + stats.collision_slots +
+                             stats.success_slots + stats.lost_slots);
+  // Tree resolution of n tags takes ~2.88·n slots on average; allow slack.
+  EXPECT_LT(stats.slots, 25u * 6);
+  EXPECT_GE(stats.slots, 25u);
+}
+
+TEST(BinaryTree, CompetitiveWithQAdaptive) {
+  // Tree splitting is a valid COTS-era alternative: same order of
+  // magnitude, though Q-adaptive usually wins (§2.3's point that the COTS
+  // algorithm is near-optimal).
+  auto run = [](AntiCollisionPolicy policy) {
+    sim::World world;
+    util::Rng rng(88);
+    for (std::size_t i = 0; i < 30; ++i) {
+      sim::SimTag t;
+      t.epc = util::Epc::from_serial(i + 1);
+      t.motion = std::make_shared<sim::StaticMotion>(
+          util::Vec3{rng.uniform(-2, 2), rng.uniform(-2, 2), 0});
+      world.add_tag(std::move(t));
+    }
+    rf::RfChannel channel(rf::ChannelPlan::single(920.625e6));
+    ReaderConfig cfg;
+    cfg.policy = policy;
+    Gen2Reader reader(LinkTiming(LinkParams::max_throughput()), cfg, world,
+                      channel, {{1, {0, 0, 2}, 8.0}}, util::Rng(89));
+    const RoundStats stats = reader.run_inventory_round(QueryCommand{}, nullptr);
+    EXPECT_EQ(stats.success_slots, 30u);
+    return util::to_seconds(stats.duration);
+  };
+  const double tree = run(AntiCollisionPolicy::kBinaryTree);
+  const double qadaptive = run(AntiCollisionPolicy::kQAdaptive);
+  EXPECT_LT(tree, qadaptive * 3.0);
+  EXPECT_LT(qadaptive, tree * 3.0);
+}
+
+TEST(BinaryTree, SurvivesDecodeErrors) {
+  TreeFixture fx(15, /*error_rate=*/0.3);
+  std::size_t reads = 0;
+  fx.reader->run_inventory_round(QueryCommand{},
+                                 [&reads](const rf::TagReading&) { ++reads; });
+  EXPECT_EQ(reads, 15u);  // retried until every tag is read
+}
+
+TEST(BinaryTree, FlipsSessionFlagLikeAloha) {
+  TreeFixture fx(8);
+  QueryCommand q;
+  q.target = InvFlag::kA;
+  std::size_t first = 0, second = 0;
+  fx.reader->run_inventory_round(q, [&first](const rf::TagReading&) { ++first; });
+  fx.reader->run_inventory_round(q, [&second](const rf::TagReading&) { ++second; });
+  EXPECT_EQ(first, 8u);
+  EXPECT_EQ(second, 0u);  // all flags flipped to B
+  q.target = InvFlag::kB;
+  std::size_t third = 0;
+  fx.reader->run_inventory_round(q, [&third](const rf::TagReading&) { ++third; });
+  EXPECT_EQ(third, 8u);
+}
+
+}  // namespace
+}  // namespace tagwatch::gen2

@@ -1,0 +1,130 @@
+#include "util/bitstring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tagwatch::util {
+namespace {
+
+TEST(BitString, DefaultIsEmpty) {
+  BitString b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BitString, ZeroInitialized) {
+  BitString b(130);  // spans three words
+  EXPECT_EQ(b.size(), 130u);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_FALSE(b.bit(i)) << "bit " << i;
+  }
+}
+
+TEST(BitString, FromValueMsbFirst) {
+  const BitString b(0b101, 3);
+  EXPECT_TRUE(b.bit(0));
+  EXPECT_FALSE(b.bit(1));
+  EXPECT_TRUE(b.bit(2));
+  EXPECT_EQ(b.to_binary_string(), "101");
+}
+
+TEST(BitString, FromValueRejectsOver64) {
+  EXPECT_THROW(BitString(1u, 65), std::invalid_argument);
+}
+
+TEST(BitString, SetAndGetAcrossWordBoundary) {
+  BitString b(128);
+  b.set_bit(63, true);
+  b.set_bit(64, true);
+  b.set_bit(127, true);
+  EXPECT_TRUE(b.bit(63));
+  EXPECT_TRUE(b.bit(64));
+  EXPECT_TRUE(b.bit(127));
+  EXPECT_FALSE(b.bit(62));
+  EXPECT_FALSE(b.bit(65));
+  b.set_bit(64, false);
+  EXPECT_FALSE(b.bit(64));
+}
+
+TEST(BitString, BoundsChecked) {
+  BitString b(8);
+  EXPECT_THROW(b.bit(8), std::out_of_range);
+  EXPECT_THROW(b.set_bit(8, true), std::out_of_range);
+}
+
+TEST(BitString, FromBinaryRoundTrip) {
+  const std::string pattern = "0011101011110000101";
+  const BitString b = BitString::from_binary(pattern);
+  EXPECT_EQ(b.size(), pattern.size());
+  EXPECT_EQ(b.to_binary_string(), pattern);
+}
+
+TEST(BitString, FromBinaryRejectsGarbage) {
+  EXPECT_THROW(BitString::from_binary("01x0"), std::invalid_argument);
+}
+
+TEST(BitString, FromHexRoundTrip) {
+  const BitString b = BitString::from_hex("3000AB");
+  EXPECT_EQ(b.size(), 24u);
+  EXPECT_EQ(b.to_hex_string(), "3000AB");
+  EXPECT_EQ(b.to_binary_string(), "001100000000000010101011");
+}
+
+TEST(BitString, FromHexLowercase) {
+  EXPECT_EQ(BitString::from_hex("ab").to_hex_string(), "AB");
+}
+
+TEST(BitString, FromHexRejectsGarbage) {
+  EXPECT_THROW(BitString::from_hex("0G"), std::invalid_argument);
+}
+
+TEST(BitString, ToHexRequiresNibbleAlignment) {
+  EXPECT_THROW(BitString(5).to_hex_string(), std::logic_error);
+}
+
+TEST(BitString, SubstringExtractsGen2Style) {
+  // Paper Fig. 9: EPC 001110, mask "10" at pointer 4 should be extracted.
+  const BitString epc = BitString::from_binary("001110");
+  EXPECT_EQ(epc.substring(3, 2).to_binary_string(), "11");
+  EXPECT_EQ(epc.substring(0, 6).to_binary_string(), "001110");
+  EXPECT_THROW(epc.substring(5, 2), std::out_of_range);
+}
+
+TEST(BitString, MatchesImplementsSelectRule) {
+  const BitString epc = BitString::from_binary("001110");
+  EXPECT_TRUE(epc.matches(2, BitString::from_binary("11")));
+  EXPECT_FALSE(epc.matches(0, BitString::from_binary("11")));
+  // Out-of-range mask never matches.
+  EXPECT_FALSE(epc.matches(5, BitString::from_binary("10")));
+  // Empty mask matches everywhere in range.
+  EXPECT_TRUE(epc.matches(0, BitString()));
+}
+
+TEST(BitString, ToUint64) {
+  EXPECT_EQ(BitString::from_binary("101100").to_uint64(), 0b101100u);
+  EXPECT_EQ(BitString(64).to_uint64(), 0u);
+  EXPECT_THROW(BitString(65).to_uint64(), std::logic_error);
+}
+
+TEST(BitString, EqualityAndOrdering) {
+  const BitString a = BitString::from_binary("0011");
+  const BitString b = BitString::from_binary("0011");
+  const BitString c = BitString::from_binary("0100");
+  const BitString prefix = BitString::from_binary("001");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_LT(prefix, a);  // prefix orders before its extension
+}
+
+TEST(BitString, HashDistinguishesSizeAndContent) {
+  EXPECT_NE(BitString(3).hash(), BitString(4).hash());
+  EXPECT_NE(BitString::from_binary("01").hash(),
+            BitString::from_binary("10").hash());
+  EXPECT_EQ(BitString::from_binary("0110").hash(),
+            BitString::from_binary("0110").hash());
+}
+
+}  // namespace
+}  // namespace tagwatch::util

@@ -1,0 +1,111 @@
+#include "util/circular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tagwatch::util {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Circular, WrapTo2Pi) {
+  EXPECT_DOUBLE_EQ(wrap_to_2pi(0.0), 0.0);
+  EXPECT_NEAR(wrap_to_2pi(kTwoPi + 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(wrap_to_2pi(-0.5), kTwoPi - 0.5, 1e-12);
+  EXPECT_NEAR(wrap_to_2pi(5.0 * kTwoPi + 1.0), 1.0, 1e-9);
+  EXPECT_NEAR(wrap_to_2pi(-3.0 * kTwoPi - 1.0), kTwoPi - 1.0, 1e-9);
+}
+
+TEST(Circular, SignedDiffShortestArc) {
+  EXPECT_NEAR(circular_signed_diff(0.5, 0.2), 0.3, 1e-12);
+  EXPECT_NEAR(circular_signed_diff(0.2, 0.5), -0.3, 1e-12);
+  // Across the wrap boundary.
+  EXPECT_NEAR(circular_signed_diff(0.1, kTwoPi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(circular_signed_diff(kTwoPi - 0.1, 0.1), -0.2, 1e-12);
+}
+
+TEST(Circular, DistancePaperExample) {
+  // §4.3: measured 2π−0.01 vs expected 0.02 → distance 0.03, not 6.25.
+  EXPECT_NEAR(circular_distance(kTwoPi - 0.01, 0.02), 0.03, 1e-12);
+}
+
+TEST(Circular, DistanceIsSymmetricAndBounded) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0.0, kTwoPi);
+    const double b = rng.uniform(0.0, kTwoPi);
+    const double d = circular_distance(a, b);
+    EXPECT_NEAR(d, circular_distance(b, a), 1e-12);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, kPi + 1e-12);
+  }
+}
+
+TEST(Circular, DistanceTriangleInequality) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0.0, kTwoPi);
+    const double b = rng.uniform(0.0, kTwoPi);
+    const double c = rng.uniform(0.0, kTwoPi);
+    EXPECT_LE(circular_distance(a, c),
+              circular_distance(a, b) + circular_distance(b, c) + 1e-12);
+  }
+}
+
+TEST(Circular, LerpMovesAlongShortestArc) {
+  // Halfway from 6.2 to 0.1 should cross 0, not go the long way.
+  const double mid = circular_lerp(6.2, 0.1, 0.5);
+  EXPECT_LT(circular_distance(mid, 0.0), 0.15);
+  EXPECT_NEAR(circular_lerp(1.0, 2.0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(circular_lerp(1.0, 2.0, 1.0), 2.0, 1e-12);
+}
+
+TEST(CircularStats, MeanOfClusteredSamples) {
+  CircularStats stats;
+  for (const double v : {0.10, 0.12, 0.08, 0.11, 0.09}) stats.add(v);
+  EXPECT_NEAR(stats.mean(), 0.10, 1e-3);
+  EXPECT_LT(stats.stddev(), 0.03);
+  EXPECT_GT(stats.resultant_length(), 0.99);
+}
+
+TEST(CircularStats, MeanAcrossWrapBoundary) {
+  CircularStats stats;
+  // Cluster straddling 0: naive mean would be ~π, circular mean ~0.
+  for (const double v : {kTwoPi - 0.05, 0.05, kTwoPi - 0.03, 0.03}) stats.add(v);
+  EXPECT_LT(circular_distance(stats.mean(), 0.0), 0.02);
+  EXPECT_LT(stats.stddev(), 0.1);
+}
+
+TEST(CircularStats, UniformSamplesHaveLowResultant) {
+  CircularStats stats;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) stats.add(rng.uniform(0.0, kTwoPi));
+  EXPECT_LT(stats.resultant_length(), 0.1);
+}
+
+TEST(CircularStats, MatchesGaussianNoiseStddev) {
+  CircularStats stats;
+  Rng rng(8);
+  const double true_mean = 3.0;
+  const double true_sd = 0.1;
+  for (int i = 0; i < 5000; ++i) stats.add(rng.normal(true_mean, true_sd));
+  EXPECT_NEAR(stats.mean(), true_mean, 0.01);
+  EXPECT_NEAR(stats.stddev(), true_sd, 0.01);
+}
+
+TEST(CircularStats, EmptyAndSingle) {
+  CircularStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+  stats.add(1.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_NEAR(stats.mean(), 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace tagwatch::util

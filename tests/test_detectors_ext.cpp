@@ -1,0 +1,118 @@
+// Tests for detector extensions: MoG model keying and hybrid fusion.
+#include <gtest/gtest.h>
+
+#include "core/detectors.hpp"
+#include "util/circular.hpp"
+#include "util/rng.hpp"
+
+namespace tagwatch::core {
+namespace {
+
+rf::TagReading reading(double phase, double rssi = -55.0,
+                       rf::AntennaId antenna = 1, std::size_t channel = 0) {
+  rf::TagReading r;
+  r.epc = util::Epc::from_serial(1);
+  r.antenna = antenna;
+  r.channel = channel;
+  r.phase_rad = util::wrap_to_2pi(phase);
+  r.rssi_dbm = rssi;
+  return r;
+}
+
+ImmobilityConfig fast_phase() {
+  ImmobilityConfig c;
+  c.trust_count = 5;
+  return c;
+}
+
+TEST(MogKeying, PooledChannelsShareOneModel) {
+  MogKeying pooled;
+  pooled.per_channel = false;
+  MogDetector d(true, fast_phase(), pooled);
+  util::Rng rng(141);
+  // Train on channel 0 only.
+  for (int i = 0; i < 50; ++i) {
+    d.update(reading(rng.normal(2.0, 0.05), -55.0, 1, 0));
+  }
+  EXPECT_EQ(d.model_count(), 1u);
+  // Pooled: the (untrained) channel 9 consults the same model — this is
+  // exactly the physical mistake the per-channel default avoids, since
+  // phase on another channel is actually incomparable.
+  EXPECT_EQ(d.classify(reading(2.0, -55.0, 1, 9)), MotionVerdict::kStationary);
+}
+
+TEST(MogKeying, PerChannelDefaultSeparates) {
+  MogDetector d(true, fast_phase());
+  util::Rng rng(142);
+  for (int i = 0; i < 50; ++i) {
+    d.update(reading(rng.normal(2.0, 0.05), -55.0, 1, 0));
+  }
+  EXPECT_EQ(d.classify(reading(2.0, -55.0, 1, 9)), MotionVerdict::kMoving);
+}
+
+TEST(MogKeying, PooledAntennasShareOneModel) {
+  MogKeying pooled;
+  pooled.per_antenna = false;
+  MogDetector d(true, fast_phase(), pooled);
+  util::Rng rng(143);
+  for (int i = 0; i < 50; ++i) {
+    d.update(reading(rng.normal(2.0, 0.05), -55.0, 1, 0));
+  }
+  EXPECT_EQ(d.model_count(), 1u);
+  EXPECT_EQ(d.classify(reading(2.0, -55.0, 4, 0)), MotionVerdict::kStationary);
+}
+
+class HybridFixture : public ::testing::Test {
+ protected:
+  DetectorConfig config_ = [] {
+    DetectorConfig c;
+    c.phase_mog.trust_count = 5;
+    c.rss_mog.trust_count = 5;
+    return c;
+  }();
+
+  /// Trains a detector on a stable (phase, RSS) pair.
+  void train(MotionDetector& d) {
+    util::Rng rng(144);
+    for (int i = 0; i < 60; ++i) {
+      d.update(reading(rng.normal(2.0, 0.05), -55.0 + rng.normal(0.0, 0.4)));
+    }
+  }
+};
+
+TEST_F(HybridFixture, AndRequiresBothIndicators) {
+  const auto d = make_detector(DetectorKind::kHybridAnd, config_);
+  train(*d);
+  // Phase jump alone (multipath-like): AND suppresses it.
+  EXPECT_EQ(d->classify(reading(3.0, -55.0)), MotionVerdict::kStationary);
+  // RSS drop alone: also suppressed.
+  EXPECT_EQ(d->classify(reading(2.0, -75.0)), MotionVerdict::kStationary);
+  // Both change (a real displacement): flagged.
+  EXPECT_EQ(d->classify(reading(3.0, -75.0)), MotionVerdict::kMoving);
+}
+
+TEST_F(HybridFixture, OrFiresOnEitherIndicator) {
+  const auto d = make_detector(DetectorKind::kHybridOr, config_);
+  train(*d);
+  EXPECT_EQ(d->classify(reading(3.0, -55.0)), MotionVerdict::kMoving);
+  EXPECT_EQ(d->classify(reading(2.0, -75.0)), MotionVerdict::kMoving);
+  EXPECT_EQ(d->classify(reading(2.0, -55.2)), MotionVerdict::kStationary);
+}
+
+TEST_F(HybridFixture, UpdateTrainsBothBranches) {
+  const auto d = make_detector(DetectorKind::kHybridAnd, config_);
+  util::Rng rng(145);
+  MotionVerdict last = MotionVerdict::kMoving;
+  for (int i = 0; i < 60; ++i) {
+    last = d->update(reading(rng.normal(1.0, 0.05), -60.0 + rng.normal(0.0, 0.4)));
+  }
+  EXPECT_EQ(last, MotionVerdict::kStationary);
+}
+
+TEST(MakeDetectorExt, ProducesHybrids) {
+  EXPECT_NE(make_detector(DetectorKind::kHybridAnd), nullptr);
+  EXPECT_NE(make_detector(DetectorKind::kHybridOr), nullptr);
+}
+
+}  // namespace
+}  // namespace tagwatch::core

@@ -1,0 +1,111 @@
+// Tests for post-paper extensions: Q persistence and the Phase II
+// duration policy hook.
+#include <gtest/gtest.h>
+
+#include "core/tagwatch.hpp"
+#include "gen2/reader.hpp"
+#include "util/circular.hpp"
+
+namespace tagwatch {
+namespace {
+
+TEST(PersistQ, SecondRoundSkipsReconvergence) {
+  // With 60 tags and initial Q=2, the first round wastes collision slots
+  // climbing to Q≈6.  With persist_q, the second round starts converged
+  // and spends fewer slots.
+  auto run = [](bool persist) {
+    sim::World world;
+    util::Rng rng(171);
+    for (std::size_t i = 0; i < 60; ++i) {
+      sim::SimTag t;
+      t.epc = util::Epc::from_serial(i + 1);
+      t.motion = std::make_shared<sim::StaticMotion>(
+          util::Vec3{rng.uniform(-2, 2), rng.uniform(-2, 2), 0});
+      world.add_tag(std::move(t));
+    }
+    rf::RfChannel channel(rf::ChannelPlan::single(920.625e6));
+    gen2::ReaderConfig cfg;
+    cfg.persist_q = persist;
+    // A conservative Q step makes the climb from a bad initial Q slow and
+    // the persistence benefit visible (at the default 0.35 the Q algorithm
+    // reconverges within a dozen slots and persistence matters little).
+    cfg.q_step = 0.1;
+    gen2::Gen2Reader reader(
+        gen2::LinkTiming(gen2::LinkParams::max_throughput()), cfg, world,
+        channel, {{1, {0, 0, 2}, 8.0}}, util::Rng(172));
+    gen2::QueryCommand q;
+    q.q = 2;
+    q.target = gen2::InvFlag::kA;
+    const auto first = reader.run_inventory_round(q, nullptr);
+    q.target = gen2::InvFlag::kB;
+    const auto second = reader.run_inventory_round(q, nullptr);
+    EXPECT_EQ(first.success_slots, 60u);
+    EXPECT_EQ(second.success_slots, 60u);
+    return std::pair{first.collision_slots, second.collision_slots};
+  };
+  const auto [off_first, off_second] = run(false);
+  const auto [on_first, on_second] = run(true);
+  // Without persistence both rounds pay the slow climb from Q=2.
+  EXPECT_GT(off_second, 40u);
+  // With persistence the second round skips the climb entirely.
+  EXPECT_LT(on_second, on_first * 2 / 3);
+  EXPECT_LT(on_second, off_second * 2 / 3);
+  (void)off_first;
+}
+
+TEST(Phase2Policy, OverridesDuration) {
+  sim::World world;
+  util::Rng rng(173);
+  for (std::size_t i = 0; i < 10; ++i) {
+    sim::SimTag t;
+    t.epc = util::Epc::random(rng);
+    t.motion = std::make_shared<sim::StaticMotion>(
+        util::Vec3{rng.uniform(-2, 2), rng.uniform(-2, 2), 0});
+    t.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    world.add_tag(std::move(t));
+  }
+  rf::RfChannel channel(rf::ChannelPlan::single(920.625e6));
+  llrp::SimReaderClient client(
+      gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+      gen2::ReaderConfig{}, world, channel,
+      {{1, {-5, -5, 0}, 8.0}, {2, {5, 5, 0}, 8.0}}, 174);
+
+  core::TagwatchConfig cfg;
+  cfg.phase2_duration = util::sec(5);  // would be 5 s without the policy
+  std::size_t calls = 0;
+  cfg.phase2_policy = [&calls](std::size_t targets, std::size_t scene) {
+    ++calls;
+    EXPECT_LE(targets, scene);
+    return util::msec(300);
+  };
+  core::TagwatchController ctl(cfg, client);
+  const core::CycleReport r = ctl.run_cycle();
+  EXPECT_GE(calls, 1u);
+  // Phase II honored the 300 ms override (plus at most one round overshoot).
+  EXPECT_LT(r.phase2_duration, util::msec(700));
+  EXPECT_GE(r.phase2_duration, util::msec(300));
+}
+
+TEST(Phase2Policy, ClampedToSaneRange) {
+  sim::World world;
+  util::Rng rng(175);
+  sim::SimTag t;
+  t.epc = util::Epc::random(rng);
+  t.motion = std::make_shared<sim::StaticMotion>(util::Vec3{1, 1, 0});
+  world.add_tag(std::move(t));
+  rf::RfChannel channel(rf::ChannelPlan::single(920.625e6));
+  llrp::SimReaderClient client(
+      gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+      gen2::ReaderConfig{}, world, channel, {{1, {0, 0, 2}, 8.0}}, 176);
+
+  core::TagwatchConfig cfg;
+  cfg.phase2_policy = [](std::size_t, std::size_t) {
+    return util::SimDuration::zero();  // absurd: clamped up to 100 ms
+  };
+  core::TagwatchController ctl(cfg, client);
+  const core::CycleReport r = ctl.run_cycle();
+  EXPECT_GE(r.phase2_duration, util::msec(100));
+}
+
+}  // namespace
+}  // namespace tagwatch

@@ -1,0 +1,169 @@
+// Table-driven conformance checks against the EPC Gen2 specification:
+// the full Select action matrix (Table 6.30), link-timing golden values,
+// and session/flag semantics the rest of the system relies on.
+#include <gtest/gtest.h>
+
+#include "gen2/link_params.hpp"
+#include "gen2/tag_runtime.hpp"
+#include "util/stats.hpp"
+
+namespace tagwatch::gen2 {
+namespace {
+
+// ---------------------------------------------------- Select action matrix
+
+struct ActionCase {
+  SelectAction action;
+  bool matched;
+  bool sl_before;
+  bool sl_after;
+};
+
+class SelectActionMatrix : public ::testing::TestWithParam<ActionCase> {};
+
+TEST_P(SelectActionMatrix, SlSemantics) {
+  const ActionCase c = GetParam();
+  SelectCommand cmd;
+  cmd.target = SelectTarget::kSl;
+  cmd.action = c.action;
+  TagFlags flags;
+  flags.sl = c.sl_before;
+  apply_select_action(cmd, c.matched, flags);
+  EXPECT_EQ(flags.sl, c.sl_after)
+      << "action " << static_cast<int>(c.action) << " matched=" << c.matched
+      << " before=" << c.sl_before;
+}
+
+// Gen2 Table 6.30, both flag polarities, matching and non-matching.
+INSTANTIATE_TEST_SUITE_P(
+    Table630, SelectActionMatrix,
+    ::testing::Values(
+        // Action 000: matching assert, else deassert.
+        ActionCase{SelectAction::kAssertMatchedDeassertElse, true, false, true},
+        ActionCase{SelectAction::kAssertMatchedDeassertElse, true, true, true},
+        ActionCase{SelectAction::kAssertMatchedDeassertElse, false, true, false},
+        ActionCase{SelectAction::kAssertMatchedDeassertElse, false, false, false},
+        // Action 001: matching assert, else nothing.
+        ActionCase{SelectAction::kAssertMatchedOnly, true, false, true},
+        ActionCase{SelectAction::kAssertMatchedOnly, false, true, true},
+        ActionCase{SelectAction::kAssertMatchedOnly, false, false, false},
+        // Action 010: matching nothing, else deassert.
+        ActionCase{SelectAction::kDeassertUnmatchedOnly, true, true, true},
+        ActionCase{SelectAction::kDeassertUnmatchedOnly, false, true, false},
+        // Action 011: matching negate, else nothing.
+        ActionCase{SelectAction::kToggleMatched, true, false, true},
+        ActionCase{SelectAction::kToggleMatched, true, true, false},
+        ActionCase{SelectAction::kToggleMatched, false, false, false},
+        // Action 100: matching deassert, else assert.
+        ActionCase{SelectAction::kDeassertMatchedAssertElse, true, true, false},
+        ActionCase{SelectAction::kDeassertMatchedAssertElse, false, false, true},
+        // Action 101: matching deassert, else nothing.
+        ActionCase{SelectAction::kDeassertMatchedOnly, true, true, false},
+        ActionCase{SelectAction::kDeassertMatchedOnly, false, true, true},
+        // Action 110: matching nothing, else assert.
+        ActionCase{SelectAction::kAssertUnmatchedOnly, true, false, false},
+        ActionCase{SelectAction::kAssertUnmatchedOnly, false, false, true},
+        // Action 111: matching negate, else nothing.
+        ActionCase{SelectAction::kToggleMatchedOnly, true, true, false},
+        ActionCase{SelectAction::kToggleMatchedOnly, false, true, true}));
+
+struct SessionCase {
+  SelectAction action;
+  bool matched;
+  InvFlag before;
+  InvFlag after;
+};
+
+class SelectSessionMatrix : public ::testing::TestWithParam<SessionCase> {};
+
+TEST_P(SelectSessionMatrix, InventoriedFlagSemantics) {
+  const SessionCase c = GetParam();
+  SelectCommand cmd;
+  cmd.target = SelectTarget::kSessionS2;
+  cmd.action = c.action;
+  TagFlags flags;
+  flags.session_flag(Session::kS2) = c.before;
+  apply_select_action(cmd, c.matched, flags);
+  EXPECT_EQ(flags.session_flag(Session::kS2), c.after);
+  // The SL flag and other sessions must be untouched.
+  EXPECT_FALSE(flags.sl);
+  EXPECT_EQ(flags.session_flag(Session::kS1), InvFlag::kA);
+}
+
+// For session targets, "assert" reads as set-to-A, "deassert" as set-to-B.
+INSTANTIATE_TEST_SUITE_P(
+    SessionTargets, SelectSessionMatrix,
+    ::testing::Values(
+        SessionCase{SelectAction::kAssertMatchedDeassertElse, true, InvFlag::kB,
+                    InvFlag::kA},
+        SessionCase{SelectAction::kAssertMatchedDeassertElse, false, InvFlag::kA,
+                    InvFlag::kB},
+        SessionCase{SelectAction::kToggleMatched, true, InvFlag::kA, InvFlag::kB},
+        SessionCase{SelectAction::kToggleMatched, true, InvFlag::kB, InvFlag::kA},
+        SessionCase{SelectAction::kToggleMatched, false, InvFlag::kB, InvFlag::kB},
+        SessionCase{SelectAction::kDeassertMatchedOnly, true, InvFlag::kA,
+                    InvFlag::kB},
+        SessionCase{SelectAction::kAssertUnmatchedOnly, false, InvFlag::kB,
+                    InvFlag::kA}));
+
+// ------------------------------------------------------- timing goldens
+
+TEST(LinkTimingGolden, MaxThroughputProfile) {
+  // Tari 6.25 µs, BLF 640 kHz, FM0: spot-check derived durations against
+  // hand-computed values (±1 µs for ceiling).
+  const LinkTiming t{LinkParams::max_throughput()};
+  // Frame-sync = delim 12.5 + Tari 6.25 + RTcal 18.75 = 37.5 µs;
+  // QueryRep = frame-sync + 4 bits × 9.375 µs = 75 µs.
+  EXPECT_NEAR(static_cast<double>(t.query_rep().count()), 75.0, 1.0);
+  // ACK = frame-sync + 18 × 9.375 = 206.25 µs.
+  EXPECT_NEAR(static_cast<double>(t.ack().count()), 206.25, 1.0);
+  // RN16 = (6 preamble + 16 + 1) × 1.5625 µs ≈ 35.9 µs.
+  EXPECT_NEAR(static_cast<double>(t.rn16().count()), 36.0, 1.5);
+  // T1 = max(RTcal 18.75, 10·Tpri 15.625) × 1.1 ≈ 20.6 µs.
+  EXPECT_NEAR(static_cast<double>(t.t1().count()), 21.0, 1.5);
+  // 96-bit EPC reply = (6 + 16 + 96 + 16 + 1) × 1.5625 ≈ 211 µs.
+  EXPECT_NEAR(static_cast<double>(t.epc_reply(96).count()), 211.0, 2.0);
+}
+
+TEST(LinkTimingGolden, PaperTestbedProfile) {
+  // Tari 12.5 µs, BLF 320 kHz, Miller-2: tag bit = 6.25 µs.
+  const LinkTiming t{LinkParams::paper_testbed()};
+  // Frame-sync = 12.5 + 12.5 + 37.5 = 62.5; QueryRep = 62.5 + 4×18.75 = 137.5.
+  EXPECT_NEAR(static_cast<double>(t.query_rep().count()), 137.5, 1.0);
+  // RN16 = 23 bits × 6.25 = 143.75 µs.
+  EXPECT_NEAR(static_cast<double>(t.rn16().count()), 144.0, 1.5);
+  // Empty slot = QueryRep + T1 + T3 ≈ 137.5 + 41.3 + 37.5 ≈ 216 µs.
+  EXPECT_NEAR(static_cast<double>(t.empty_slot().count()), 217.0, 3.0);
+  // Success slot for a 96-bit EPC: 137.5 (QueryRep) + 42 (T1) + 143.75
+  // (RN16) + 32 (T2) + 400 (ACK) + 42 (T1) + 843.75 (PC+EPC+CRC reply)
+  // + 32 (T2) ≈ 1.674 ms.
+  EXPECT_NEAR(util::to_millis(t.success_slot(96)), 1.674, 0.05);
+}
+
+TEST(LinkTimingGolden, QueryCarriesFullPreamble) {
+  // Query includes TRcal (needed by tags to derive BLF); others don't.
+  const LinkParams p = LinkParams::paper_testbed();
+  const LinkTiming t{p};
+  // TRcal = (64/3) / BLF[MHz] = 21.33/0.32 = 66.7 µs.
+  const double trcal = 64.0 / 3.0 / (p.blf_khz / 1000.0);
+  const double query_body = 22.0 * 1.5 * p.tari_us;
+  const double query_rep_body = 4.0 * 1.5 * p.tari_us;
+  const double expected_delta = trcal + (query_body - query_rep_body);
+  EXPECT_NEAR(static_cast<double>((t.query() - t.query_rep()).count()),
+              expected_delta, 2.0);
+}
+
+// --------------------------------------------------------- jain fairness
+
+TEST(JainFairness, KnownValues) {
+  EXPECT_DOUBLE_EQ(util::jain_fairness(std::vector<double>{1, 1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(util::jain_fairness(std::vector<double>{1, 0, 0, 0}), 0.25);
+  EXPECT_NEAR(util::jain_fairness(std::vector<double>{2, 1}), 0.9, 1e-9);
+  EXPECT_THROW(util::jain_fairness(std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(util::jain_fairness(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tagwatch::gen2

@@ -1,0 +1,177 @@
+// Tests for the Gaussian-mixture immobility model (§4.1–4.3).
+#include <gtest/gtest.h>
+
+#include "core/immobility.hpp"
+#include "util/circular.hpp"
+#include "util/rng.hpp"
+
+namespace tagwatch::core {
+namespace {
+
+ImmobilityConfig fast_config() {
+  ImmobilityConfig c;
+  c.trust_count = 5;
+  return c;
+}
+
+TEST(ImmobilityModel, RejectsBadConfig) {
+  ImmobilityConfig c;
+  c.learning_rate = 0.0;
+  EXPECT_THROW((ImmobilityModel{c}), std::invalid_argument);
+  c = {};
+  c.max_components = 0;
+  EXPECT_THROW((ImmobilityModel{c}), std::invalid_argument);
+  c = {};
+  c.match_threshold = -1.0;
+  EXPECT_THROW((ImmobilityModel{c}), std::invalid_argument);
+}
+
+TEST(ImmobilityModel, FirstObservationIsMoving) {
+  // "Initially, we assume all the tags are in motion" (§4.1).
+  ImmobilityModel m(fast_config());
+  EXPECT_EQ(m.observe(1.0), MotionVerdict::kMoving);
+  EXPECT_EQ(m.component_count(), 1u);
+}
+
+TEST(ImmobilityModel, LearnsImmobilityFromStablePhase) {
+  ImmobilityModel m(fast_config());
+  util::Rng rng(51);
+  // Stable phase around 2.0 with thermal noise.
+  MotionVerdict last = MotionVerdict::kMoving;
+  for (int i = 0; i < 50; ++i) last = m.observe(rng.normal(2.0, 0.05));
+  EXPECT_EQ(last, MotionVerdict::kStationary);
+  EXPECT_TRUE(m.has_trusted_component());
+  // The dominant component sits near the true mean with a tight σ.
+  const GaussianComponent& top = m.components().front();
+  EXPECT_NEAR(top.mean, 2.0, 0.05);
+  EXPECT_LT(top.stddev, 0.15);
+}
+
+TEST(ImmobilityModel, DetectsDisplacementAfterLearning) {
+  ImmobilityModel m(fast_config());
+  util::Rng rng(52);
+  for (int i = 0; i < 60; ++i) m.observe(rng.normal(2.0, 0.05));
+  // A 2 cm displacement at λ≈32.6 cm shifts phase by 4π·0.02/0.326 ≈ 0.77 rad.
+  EXPECT_EQ(m.classify(2.0 + 0.77), MotionVerdict::kMoving);
+  EXPECT_EQ(m.classify(2.02), MotionVerdict::kStationary);
+}
+
+TEST(ImmobilityModel, PhaseWrapDoesNotFalseAlarm) {
+  // §4.3 "phase jumps": values straddling 0/2π are the same position.
+  ImmobilityModel m(fast_config());
+  util::Rng rng(53);
+  for (int i = 0; i < 60; ++i) {
+    m.observe(util::wrap_to_2pi(rng.normal(0.0, 0.05)));
+  }
+  EXPECT_EQ(m.classify(util::kTwoPi - 0.02), MotionVerdict::kStationary);
+  EXPECT_EQ(m.classify(0.03), MotionVerdict::kStationary);
+}
+
+TEST(ImmobilityModel, MultimodalPhasesBuildMultipleComponents) {
+  // Fig. 8: a walking person toggles the superposed phase between states;
+  // the mixture learns each state instead of flagging motion forever.
+  ImmobilityModel m(fast_config());
+  util::Rng rng(54);
+  for (int i = 0; i < 300; ++i) {
+    const double mode = (i % 3 == 0) ? 1.0 : ((i % 3 == 1) ? 2.5 : 4.5);
+    m.observe(rng.normal(mode, 0.05));
+  }
+  EXPECT_GE(m.component_count(), 3u);
+  EXPECT_EQ(m.classify(1.02), MotionVerdict::kStationary);
+  EXPECT_EQ(m.classify(2.48), MotionVerdict::kStationary);
+  EXPECT_EQ(m.classify(4.52), MotionVerdict::kStationary);
+  EXPECT_EQ(m.classify(3.5), MotionVerdict::kMoving);
+}
+
+TEST(ImmobilityModel, StackBoundedByK) {
+  ImmobilityConfig c = fast_config();
+  c.max_components = 4;
+  ImmobilityModel m(c);
+  util::Rng rng(55);
+  for (int i = 0; i < 500; ++i) m.observe(rng.uniform(0.0, util::kTwoPi));
+  EXPECT_LE(m.component_count(), 4u);
+}
+
+TEST(ImmobilityModel, ComponentsSortedByPriority) {
+  ImmobilityModel m(fast_config());
+  util::Rng rng(56);
+  for (int i = 0; i < 200; ++i) m.observe(rng.normal(1.5, 0.05));
+  m.observe(5.0);  // fresh junk component
+  const auto& comps = m.components();
+  for (std::size_t i = 1; i < comps.size(); ++i) {
+    EXPECT_GE(comps[i - 1].priority(), comps[i].priority());
+  }
+  EXPECT_NEAR(comps.front().mean, 1.5, 0.1);
+}
+
+TEST(ImmobilityModel, StateTransitionRelearnsWithinBudget) {
+  // §4.3: after a tag moves to a new position, the new immobility state
+  // should become trusted after a Phase-II-scale burst of readings, while
+  // the outdated component decays.
+  ImmobilityConfig c = fast_config();
+  ImmobilityModel m(c);
+  util::Rng rng(57);
+  for (int i = 0; i < 100; ++i) m.observe(rng.normal(1.0, 0.05));
+  ASSERT_EQ(m.classify(1.0), MotionVerdict::kStationary);
+  // Move: phase now clusters at 4.0.  First readings are flagged moving.
+  EXPECT_EQ(m.observe(rng.normal(4.0, 0.05)), MotionVerdict::kMoving);
+  int to_stationary = 1;
+  while (m.observe(rng.normal(4.0, 0.05)) == MotionVerdict::kMoving) {
+    ++to_stationary;
+    ASSERT_LT(to_stationary, 200);  // must converge
+  }
+  // One cycle of intensive reading (~200 reads at 40 Hz × 5 s) is plenty.
+  EXPECT_LE(to_stationary, 100);
+}
+
+TEST(ImmobilityModel, ContinuousMotionStaysMoving) {
+  // A tag on a moving train sweeps phase; most readings are unexplained.
+  ImmobilityModel m(fast_config());
+  util::Rng rng(58);
+  std::size_t moving = 0;
+  const int n = 400;
+  double phase = 0.0;
+  for (int i = 0; i < n; ++i) {
+    phase = util::wrap_to_2pi(phase + 0.9 + rng.normal(0.0, 0.1));
+    if (m.observe(phase) == MotionVerdict::kMoving) ++moving;
+  }
+  EXPECT_GT(static_cast<double>(moving) / n, 0.6);
+}
+
+TEST(ImmobilityModel, LinearMetricForRss) {
+  ImmobilityConfig c = ImmobilityConfig::for_rss();
+  c.trust_count = 5;
+  ImmobilityModel m(c, Metric::kLinear);
+  util::Rng rng(59);
+  for (int i = 0; i < 60; ++i) m.observe(rng.normal(-55.0, 0.5));
+  EXPECT_EQ(m.classify(-55.2), MotionVerdict::kStationary);
+  EXPECT_EQ(m.classify(-70.0), MotionVerdict::kMoving);
+}
+
+TEST(ImmobilityModel, LearnDoesNotRequireVerdictUsage) {
+  ImmobilityModel m(fast_config());
+  util::Rng rng(60);
+  for (int i = 0; i < 50; ++i) m.learn(rng.normal(3.0, 0.05));
+  EXPECT_EQ(m.classify(3.0), MotionVerdict::kStationary);
+}
+
+TEST(ImmobilityModel, WeightsDecayForUnmatchedComponents) {
+  ImmobilityModel m(fast_config());
+  util::Rng rng(61);
+  for (int i = 0; i < 50; ++i) m.observe(rng.normal(1.0, 0.05));
+  // Capture the stale component's weight, then feed a different mode.
+  double stale_weight = m.components().front().weight;
+  for (int i = 0; i < 200; ++i) m.observe(rng.normal(4.0, 0.05));
+  // Find the old component (mean ≈ 1.0) and check its weight decayed.
+  bool found = false;
+  for (const auto& comp : m.components()) {
+    if (util::circular_distance(comp.mean, 1.0) < 0.3) {
+      EXPECT_LT(comp.weight, stale_weight);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace tagwatch::core

@@ -1,0 +1,127 @@
+#include "util/indicator_bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace tagwatch::util {
+namespace {
+
+TEST(IndicatorBitmap, StartsEmpty) {
+  IndicatorBitmap b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+}
+
+TEST(IndicatorBitmap, SetTestClear) {
+  IndicatorBitmap b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.set(63, false);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(IndicatorBitmap, BoundsChecked) {
+  IndicatorBitmap b(8);
+  EXPECT_THROW(b.test(8), std::out_of_range);
+  EXPECT_THROW(b.set(8), std::out_of_range);
+}
+
+TEST(IndicatorBitmap, AndCountMatchesPaperGainTerm) {
+  // Fig. 10: V = [0,1,1,1], V1 = [1,1,1,0] → |V1 & V| = 2.
+  IndicatorBitmap v(4), v1(4);
+  v.set(1);
+  v.set(2);
+  v.set(3);
+  v1.set(0);
+  v1.set(1);
+  v1.set(2);
+  EXPECT_EQ(v1.and_count(v), 2u);
+  EXPECT_EQ(v.and_count(v1), 2u);
+}
+
+TEST(IndicatorBitmap, SubtractImplementsStep3Update) {
+  // V ← V − (V & V3): Fig. 10's input-bitmap update.
+  IndicatorBitmap v(4), v3(4);
+  v.set(1);
+  v.set(2);
+  v.set(3);
+  v3.set(1);
+  v3.set(2);
+  v.subtract(v3);
+  EXPECT_FALSE(v.test(1));
+  EXPECT_FALSE(v.test(2));
+  EXPECT_TRUE(v.test(3));
+  EXPECT_EQ(v.count(), 1u);
+}
+
+TEST(IndicatorBitmap, MergeIsUnion) {
+  IndicatorBitmap a(10), b(10);
+  a.set(1);
+  b.set(1);
+  b.set(7);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_TRUE(a.test(7));
+}
+
+TEST(IndicatorBitmap, SizeMismatchThrows) {
+  IndicatorBitmap a(10), b(11);
+  EXPECT_THROW(a.and_count(b), std::invalid_argument);
+  EXPECT_THROW(a.subtract(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(IndicatorBitmap, EqualityAndHashForDedup) {
+  IndicatorBitmap a(200), b(200), c(200);
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.below(200));
+    a.set(idx);
+    b.set(idx);
+    c.set((idx + 1) % 200);
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  std::unordered_set<IndicatorBitmap> set;
+  set.insert(a);
+  set.insert(b);
+  set.insert(c);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(IndicatorBitmap, ToStringRendersTagOrder) {
+  IndicatorBitmap b(4);
+  b.set(1);
+  b.set(3);
+  EXPECT_EQ(b.to_string(), "0101");
+}
+
+TEST(IndicatorBitmap, CountRandomizedAgainstReference) {
+  Rng rng(13);
+  IndicatorBitmap b(513);
+  std::unordered_set<std::size_t> reference;
+  for (int i = 0; i < 300; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.below(513));
+    b.set(idx);
+    reference.insert(idx);
+  }
+  EXPECT_EQ(b.count(), reference.size());
+}
+
+}  // namespace
+}  // namespace tagwatch::util

@@ -1,0 +1,212 @@
+// Tests for ROSpec structures, XML round-trip, and the SimReaderClient.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "llrp/rospec.hpp"
+#include "llrp/rospec_xml.hpp"
+#include "llrp/sim_reader_client.hpp"
+#include "util/circular.hpp"
+
+namespace tagwatch::llrp {
+namespace {
+
+ROSpec sample_rospec() {
+  ROSpec spec;
+  spec.id = 7;
+  spec.priority = 2;
+  spec.loops = 3;
+  AISpec ai;
+  ai.antenna_indexes = {0, 2};
+  ai.session = gen2::Session::kS2;
+  ai.initial_q = 5;
+  ai.stop = AiSpecStopTrigger::after_duration(util::msec(5000));
+  ai.filters.push_back(
+      {gen2::MemBank::kEpc, 3, util::BitString::from_binary("1101")});
+  ai.filters.push_back(
+      {gen2::MemBank::kEpc, 10, util::BitString::from_binary("01")});
+  spec.ai_specs.push_back(ai);
+  AISpec plain;
+  plain.stop = AiSpecStopTrigger::after_rounds(4);
+  spec.ai_specs.push_back(plain);
+  return spec;
+}
+
+TEST(RospecXml, RoundTripPreservesEverything) {
+  const ROSpec original = sample_rospec();
+  const std::string xml = to_xml(original);
+  const ROSpec parsed = rospec_from_xml(xml);
+
+  EXPECT_EQ(parsed.id, original.id);
+  EXPECT_EQ(parsed.priority, original.priority);
+  EXPECT_EQ(parsed.loops, original.loops);
+  ASSERT_EQ(parsed.ai_specs.size(), 2u);
+  const AISpec& ai = parsed.ai_specs[0];
+  EXPECT_EQ(ai.antenna_indexes, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(ai.session, gen2::Session::kS2);
+  EXPECT_EQ(ai.initial_q, 5);
+  EXPECT_EQ(ai.stop.kind, AiSpecStopTrigger::Kind::kDuration);
+  EXPECT_EQ(ai.stop.duration, util::msec(5000));
+  ASSERT_EQ(ai.filters.size(), 2u);
+  EXPECT_EQ(ai.filters[0].pointer, 3u);
+  EXPECT_EQ(ai.filters[0].mask.to_binary_string(), "1101");
+  EXPECT_EQ(ai.filters[1].pointer, 10u);
+  const AISpec& plain = parsed.ai_specs[1];
+  EXPECT_EQ(plain.stop.kind, AiSpecStopTrigger::Kind::kRounds);
+  EXPECT_EQ(plain.stop.rounds, 4u);
+  EXPECT_TRUE(plain.filters.empty());
+
+  // Serialization is stable.
+  EXPECT_EQ(to_xml(parsed), xml);
+}
+
+TEST(RospecXml, ParsesHandWrittenDocument) {
+  const ROSpec spec = rospec_from_xml(R"(
+    <ROSpec id="1">
+      <AISpec session="1" initialQ="4">
+        <Antennas>0</Antennas>
+        <C1G2Filter bank="1" pointer="5"><Mask>101</Mask></C1G2Filter>
+        <StopTrigger kind="rounds" rounds="2"/>
+      </AISpec>
+    </ROSpec>)");
+  ASSERT_EQ(spec.ai_specs.size(), 1u);
+  EXPECT_EQ(spec.ai_specs[0].filters[0].mask.to_binary_string(), "101");
+  EXPECT_EQ(spec.ai_specs[0].stop.rounds, 2u);
+}
+
+TEST(RospecXml, RejectsMalformedInput) {
+  EXPECT_THROW(rospec_from_xml("<NotROSpec/>"), std::invalid_argument);
+  EXPECT_THROW(rospec_from_xml("<ROSpec id=\"1\">"), std::invalid_argument);
+  EXPECT_THROW(rospec_from_xml("<ROSpec><AISpec><C1G2Filter/></AISpec></ROSpec>"),
+               std::invalid_argument);
+  EXPECT_THROW(rospec_from_xml("<ROSpec></Other>"), std::invalid_argument);
+}
+
+// ----------------------------------------------------- SimReaderClient
+
+struct ClientFixture {
+  sim::World world;
+  rf::RfChannel channel{rf::ChannelPlan::china_920_926()};
+  std::vector<rf::Antenna> antennas{{1, {0, 0, 2}, 8.0}, {2, {2, 0, 2}, 8.0}};
+  std::optional<SimReaderClient> client;
+
+  explicit ClientFixture(std::size_t n_tags) {
+    util::Rng rng(111);
+    for (std::size_t i = 0; i < n_tags; ++i) {
+      sim::SimTag t;
+      t.epc = util::Epc::from_serial(i + 1);
+      t.motion = std::make_shared<sim::StaticMotion>(
+          util::Vec3{rng.uniform(-2, 2), rng.uniform(-2, 2), 0});
+      t.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+      world.add_tag(std::move(t));
+    }
+    client.emplace(gen2::LinkTiming(gen2::LinkParams::max_throughput()),
+                   gen2::ReaderConfig{}, world, channel, antennas, 7);
+  }
+};
+
+TEST(SimReaderClient, UnfilteredRoundsReadAllRepeatedly) {
+  ClientFixture fx(12);
+  ROSpec spec;
+  AISpec ai;
+  ai.stop = AiSpecStopTrigger::after_rounds(4);
+  spec.ai_specs.push_back(ai);
+  const ExecutionReport report = fx.client->execute(spec);
+  EXPECT_EQ(report.rounds, 4u);
+  // Dual-target alternation: every round reads all 12 tags.
+  EXPECT_EQ(report.readings.size(), 48u);
+  EXPECT_EQ(report.slot_totals.success_slots, 48u);
+}
+
+TEST(SimReaderClient, AntennaCyclingAcrossRounds) {
+  ClientFixture fx(4);
+  ROSpec spec;
+  AISpec ai;
+  ai.stop = AiSpecStopTrigger::after_rounds(4);  // both antennas, twice
+  spec.ai_specs.push_back(ai);
+  const auto report = fx.client->execute(spec);
+  std::set<rf::AntennaId> used;
+  for (const auto& r : report.readings) used.insert(r.antenna);
+  EXPECT_EQ(used.size(), 2u);
+}
+
+TEST(SimReaderClient, FilterRestrictsAndRepeats) {
+  ClientFixture fx(16);
+  ROSpec spec;
+  AISpec ai;
+  ai.filters.push_back({gen2::MemBank::kEpc, 95,
+                        util::BitString::from_binary("1")});  // odd serials
+  ai.stop = AiSpecStopTrigger::after_rounds(6);
+  spec.ai_specs.push_back(ai);
+  const auto report = fx.client->execute(spec);
+  // 8 odd tags × 6 rounds: Select re-arms the session flag each round.
+  EXPECT_EQ(report.readings.size(), 48u);
+  for (const auto& r : report.readings) {
+    EXPECT_TRUE(r.epc.bits().bit(95)) << r.epc.to_hex();
+  }
+}
+
+TEST(SimReaderClient, ConjunctiveFiltersIntersect) {
+  ClientFixture fx(16);
+  ROSpec spec;
+  AISpec ai;
+  // serial bit95 == 1 AND bit94 == 1 → serials ≡ 3 (mod 4): 3,7,11,15.
+  ai.filters.push_back({gen2::MemBank::kEpc, 95, util::BitString::from_binary("1")});
+  ai.filters.push_back({gen2::MemBank::kEpc, 94, util::BitString::from_binary("1")});
+  ai.stop = AiSpecStopTrigger::after_rounds(1);
+  spec.ai_specs.push_back(ai);
+  const auto report = fx.client->execute(spec);
+  EXPECT_EQ(report.readings.size(), 4u);
+}
+
+TEST(SimReaderClient, DurationStopTriggerBoundsTime) {
+  ClientFixture fx(10);
+  ROSpec spec;
+  AISpec ai;
+  ai.stop = AiSpecStopTrigger::after_duration(util::msec(500));
+  spec.ai_specs.push_back(ai);
+  const auto t0 = fx.client->now();
+  const auto report = fx.client->execute(spec);
+  const auto elapsed = fx.client->now() - t0;
+  EXPECT_GE(elapsed, util::msec(500));
+  // Overshoot bounded by one round (tens of ms at this scale).
+  EXPECT_LT(elapsed, util::msec(700));
+  EXPECT_GT(report.rounds, 5u);
+}
+
+TEST(SimReaderClient, LoopsRepeatAiSpecList) {
+  ClientFixture fx(5);
+  ROSpec spec;
+  spec.loops = 3;
+  AISpec ai;
+  ai.stop = AiSpecStopTrigger::after_rounds(2);
+  spec.ai_specs.push_back(ai);
+  const auto report = fx.client->execute(spec);
+  EXPECT_EQ(report.rounds, 6u);
+}
+
+TEST(SimReaderClient, ListenerStreamsEveryReading) {
+  ClientFixture fx(6);
+  std::size_t streamed = 0;
+  fx.client->set_read_listener([&streamed](const rf::TagReading&) { ++streamed; });
+  ROSpec spec;
+  AISpec ai;
+  ai.stop = AiSpecStopTrigger::after_rounds(2);
+  spec.ai_specs.push_back(ai);
+  const auto report = fx.client->execute(spec);
+  EXPECT_EQ(streamed, report.readings.size());
+}
+
+TEST(SimReaderClient, ExplicitAntennaSelection) {
+  ClientFixture fx(4);
+  ROSpec spec;
+  AISpec ai;
+  ai.antenna_indexes = {1};
+  ai.stop = AiSpecStopTrigger::after_rounds(3);
+  spec.ai_specs.push_back(ai);
+  const auto report = fx.client->execute(spec);
+  for (const auto& r : report.readings) EXPECT_EQ(r.antenna, 2);
+}
+
+}  // namespace
+}  // namespace tagwatch::llrp

@@ -1,0 +1,92 @@
+// Tests for the inventory-cost / IRR model (Eqn. 5–6) and its fitting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rate_model.hpp"
+#include "util/rng.hpp"
+
+namespace tagwatch::core {
+namespace {
+
+TEST(InventoryCostModel, PaperFitValues) {
+  const auto m = InventoryCostModel::paper_fit();
+  EXPECT_DOUBLE_EQ(m.tau0_seconds(), 0.019);
+  EXPECT_DOUBLE_EQ(m.taubar_seconds(), 0.00018);
+  // C(1) = τ0 + τ̄.
+  EXPECT_NEAR(m.cost_seconds(1), 0.01918, 1e-9);
+}
+
+TEST(InventoryCostModel, MatchesPaperEquation) {
+  const auto m = InventoryCostModel::paper_fit();
+  // C(n) = τ0 + n·e·τ̄·ln n.
+  const double expected40 =
+      0.019 + 40.0 * std::numbers::e * 0.00018 * std::log(40.0);
+  EXPECT_NEAR(m.cost_seconds(40), expected40, 1e-12);
+  // Paper's headline: IRR drops by ~84% from n=1 to n≈40.
+  const double drop = 1.0 - m.irr_hz(40) / m.irr_hz(1);
+  EXPECT_NEAR(drop, 0.76, 0.1);
+}
+
+TEST(InventoryCostModel, IrrMonotonicallyDecreases) {
+  const auto m = InventoryCostModel::paper_fit();
+  double prev = m.irr_hz(1);
+  for (std::size_t n = 2; n <= 400; ++n) {
+    const double irr = m.irr_hz(n);
+    EXPECT_LT(irr, prev) << "n=" << n;
+    prev = irr;
+  }
+}
+
+TEST(InventoryCostModel, CostMonotonicallyIncreases) {
+  const auto m = InventoryCostModel::paper_fit();
+  double prev = m.cost_seconds(0);
+  for (std::size_t n = 1; n <= 400; ++n) {
+    EXPECT_GT(m.cost_seconds(n), prev);
+    prev = m.cost_seconds(n);
+  }
+}
+
+TEST(InventoryCostModel, RegressorSpecialCases) {
+  EXPECT_DOUBLE_EQ(InventoryCostModel::regressor(0), 0.0);
+  EXPECT_DOUBLE_EQ(InventoryCostModel::regressor(1), 1.0);
+  EXPECT_NEAR(InventoryCostModel::regressor(2),
+              2.0 * std::numbers::e * std::log(2.0), 1e-12);
+}
+
+TEST(InventoryCostModel, RejectsBadParameters) {
+  EXPECT_THROW(InventoryCostModel(-0.1, 0.001), std::invalid_argument);
+  EXPECT_THROW(InventoryCostModel(0.01, 0.0), std::invalid_argument);
+}
+
+TEST(InventoryCostModel, FitRecoversKnownParameters) {
+  const InventoryCostModel truth(0.019, 0.00018);
+  std::vector<std::size_t> ns;
+  std::vector<util::SimDuration> durations;
+  util::Rng rng(41);
+  for (std::size_t n = 1; n <= 40; ++n) {
+    for (int rep = 0; rep < 5; ++rep) {
+      ns.push_back(n);
+      const double noisy = truth.cost_seconds(n) * rng.uniform(0.97, 1.03);
+      durations.push_back(util::from_seconds(noisy));
+    }
+  }
+  const auto fitted = InventoryCostModel::fit(ns, durations);
+  EXPECT_NEAR(fitted.tau0_seconds(), 0.019, 0.002);
+  EXPECT_NEAR(fitted.taubar_seconds(), 0.00018, 0.00002);
+  EXPECT_GT(fitted.fit_r_squared(), 0.95);
+}
+
+TEST(InventoryCostModel, FitRejectsTooFewSamples) {
+  std::vector<std::size_t> ns{3};
+  std::vector<util::SimDuration> ds{util::msec(25)};
+  EXPECT_THROW(InventoryCostModel::fit(ns, ds), std::invalid_argument);
+}
+
+TEST(InventoryCostModel, CostDurationRoundTrip) {
+  const auto m = InventoryCostModel::paper_fit();
+  EXPECT_NEAR(util::to_seconds(m.cost(25)), m.cost_seconds(25), 1e-6);
+}
+
+}  // namespace
+}  // namespace tagwatch::core

@@ -1,0 +1,199 @@
+// Tests for the greedy set-cover scheduler (§5.3).
+#include <gtest/gtest.h>
+
+#include "core/setcover.hpp"
+#include "util/rng.hpp"
+
+namespace tagwatch::core {
+namespace {
+
+util::Epc epc6(std::string_view bits) {
+  return util::Epc(util::BitString::from_binary(bits));
+}
+
+GreedyCoverScheduler scheduler() {
+  return GreedyCoverScheduler(InventoryCostModel::paper_fit());
+}
+
+/// Every target must be covered by the union of selected bitmasks.
+void expect_full_coverage(const Schedule& plan, const BitmaskIndex& index,
+                          const util::IndicatorBitmap& targets) {
+  util::IndicatorBitmap remaining = targets;
+  for (const auto& sel : plan.selections) {
+    util::IndicatorBitmap cov(index.scene_size());
+    for (std::size_t i = 0; i < index.scene_size(); ++i) {
+      if (sel.bitmask.covers(index.scene()[i])) cov.set(i);
+    }
+    remaining.subtract(cov);
+  }
+  EXPECT_TRUE(remaining.none()) << "uncovered targets remain";
+}
+
+TEST(GreedyCover, PaperFig9CostRegimes) {
+  // Scene from Fig. 9: three targets + one non-target sharing bit 5 = 0
+  // with all of them.  The economically optimal plan depends on τ0:
+  //
+  //  * with the hardware's τ0 = 19 ms, one collateral round covering all
+  //    four tags (C(4)) beats any multi-round clean cover — exactly the
+  //    paper's point that "cost-effective selection may collaterally
+  //    involve non-target tags";
+  //  * with a negligible τ0, extra covered tags are pure cost, and the
+  //    greedy recovers Fig. 9(b)'s clean two-mask cover.
+  const auto t1 = epc6("001110");
+  const auto t2 = epc6("010010");
+  const auto t3 = epc6("101100");
+  const auto nt = epc6("110110");
+  BitmaskIndex index({t1, t2, t3, nt});
+  const auto targets = index.bitmap_of({t1, t2, t3});
+
+  // Regime 1: paper-fit cost model → single merged round.
+  {
+    const Schedule plan = scheduler().plan(index, targets);
+    expect_full_coverage(plan, index, targets);
+    ASSERT_EQ(plan.selections.size(), 1u);
+    EXPECT_EQ(plan.selections[0].covered_total, 4u);
+    EXPECT_NEAR(plan.estimated_cost_s,
+                InventoryCostModel::paper_fit().cost_seconds(4), 1e-12);
+  }
+
+  // Regime 2: τ0 ≈ 0 → merging has no economy at all; the worst-case guard
+  // settles on per-target rounds, and no non-target is ever touched.
+  {
+    GreedyCoverScheduler cheap_start(InventoryCostModel(1e-7, 0.00018));
+    const Schedule plan = cheap_start.plan(index, targets);
+    expect_full_coverage(plan, index, targets);
+    for (const auto& sel : plan.selections) {
+      EXPECT_FALSE(sel.bitmask.covers(nt))
+          << sel.bitmask.to_string() << " collaterally covers the non-target";
+    }
+    EXPECT_LE(plan.selections.size(), 3u);
+  }
+}
+
+TEST(GreedyCover, SingleTargetUsesOneMask) {
+  util::Rng rng(101);
+  std::vector<util::Epc> scene;
+  for (int i = 0; i < 40; ++i) scene.push_back(util::Epc::random(rng));
+  BitmaskIndex index(scene);
+  const auto targets = index.bitmap_of({scene[5]});
+  const Schedule plan = scheduler().plan(index, targets);
+  ASSERT_EQ(plan.selections.size(), 1u);
+  expect_full_coverage(plan, index, targets);
+  // Random 96-bit EPCs: a short prefix distinguishes any tag from 39
+  // others, so the chosen mask should cover just the target.
+  EXPECT_EQ(plan.selections[0].covered_total, 1u);
+}
+
+TEST(GreedyCover, CoversAllTargetsRandomized) {
+  util::Rng rng(102);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<util::Epc> scene;
+    const std::size_t n = 20 + rng.below(60);
+    for (std::size_t i = 0; i < n; ++i) scene.push_back(util::Epc::random(rng));
+    BitmaskIndex index(scene);
+    std::vector<util::Epc> target_epcs;
+    for (const auto& e : index.scene()) {
+      if (rng.chance(0.15)) target_epcs.push_back(e);
+    }
+    if (target_epcs.empty()) target_epcs.push_back(index.scene()[0]);
+    const auto targets = index.bitmap_of(target_epcs);
+    const Schedule plan = scheduler().plan(index, targets);
+    expect_full_coverage(plan, index, targets);
+    EXPECT_GT(plan.estimated_cost_s, 0.0);
+    EXPECT_LE(plan.selections.size(), target_epcs.size());
+  }
+}
+
+TEST(GreedyCover, NeverWorseThanNaive) {
+  // §5.2: "If the cost of 'optimal' selection is higher than C(n'), we
+  // should adopt the worst option."  plan() must therefore never return a
+  // schedule costlier than naive_plan().
+  util::Rng rng(103);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<util::Epc> scene;
+    for (int i = 0; i < 50; ++i) scene.push_back(util::Epc::random(rng));
+    BitmaskIndex index(scene);
+    std::vector<util::Epc> target_epcs;
+    for (int i = 0; i < 5; ++i) {
+      target_epcs.push_back(index.scene()[rng.below(50)]);
+    }
+    const auto targets = index.bitmap_of(target_epcs);
+    const auto s = scheduler();
+    const Schedule plan = s.plan(index, targets);
+    const Schedule naive = s.naive_plan(index, targets);
+    EXPECT_LE(plan.estimated_cost_s, naive.estimated_cost_s + 1e-12);
+  }
+}
+
+TEST(GreedyCover, SharedPrefixTargetsMergeIntoOneMask) {
+  // Targets that share a long prefix (and differ from all non-targets) can
+  // be covered by a single prefix mask — cheaper than two separate rounds
+  // because each round pays τ0.
+  std::vector<util::Epc> scene;
+  scene.push_back(epc6("110000"));
+  scene.push_back(epc6("110001"));  // targets: prefix 1100
+  scene.push_back(epc6("001010"));
+  scene.push_back(epc6("011011"));
+  BitmaskIndex index(scene);
+  const auto targets = index.bitmap_of({epc6("110000"), epc6("110001")});
+  const Schedule plan = scheduler().plan(index, targets);
+  ASSERT_EQ(plan.selections.size(), 1u);
+  EXPECT_EQ(plan.selections[0].covered_total, 2u);
+  EXPECT_EQ(plan.selections[0].covered_targets, 2u);
+}
+
+TEST(GreedyCover, AcceptsCollateralWhenCheaper) {
+  // If two targets can only be jointly covered by a mask that also covers
+  // one non-target, the collateral cover (1 round, 3 tags) still beats two
+  // τ0-dominated exact rounds: C(3) < 2·C(1) for the paper's parameters.
+  std::vector<util::Epc> scene;
+  scene.push_back(epc6("110000"));  // target
+  scene.push_back(epc6("110111"));  // target
+  scene.push_back(epc6("110101"));  // non-target sharing the prefix
+  scene.push_back(epc6("000001"));
+  BitmaskIndex index(scene);
+  const auto targets = index.bitmap_of({epc6("110000"), epc6("110111")});
+  const Schedule plan = scheduler().plan(index, targets);
+  ASSERT_EQ(plan.selections.size(), 1u);
+  EXPECT_EQ(plan.selections[0].covered_total, 3u);  // includes the collateral
+  EXPECT_FALSE(plan.used_naive_fallback);
+}
+
+TEST(GreedyCover, NaivePlanShape) {
+  util::Rng rng(104);
+  std::vector<util::Epc> scene;
+  for (int i = 0; i < 30; ++i) scene.push_back(util::Epc::random(rng));
+  BitmaskIndex index(scene);
+  const auto targets = index.bitmap_of({index.scene()[1], index.scene()[2]});
+  const Schedule naive = scheduler().naive_plan(index, targets);
+  ASSERT_EQ(naive.selections.size(), 2u);
+  for (const auto& sel : naive.selections) {
+    EXPECT_EQ(sel.bitmask.pointer, 0u);
+    EXPECT_EQ(sel.bitmask.mask.size(), 96u);  // the full EPC
+    EXPECT_EQ(sel.covered_total, 1u);
+  }
+  EXPECT_TRUE(naive.used_naive_fallback);
+  EXPECT_NEAR(naive.estimated_cost_s,
+              2.0 * InventoryCostModel::paper_fit().cost_seconds(1), 1e-12);
+}
+
+TEST(GreedyCover, RejectsEmptyTargets) {
+  BitmaskIndex index({epc6("000001")});
+  util::IndicatorBitmap empty(1);
+  EXPECT_THROW(scheduler().plan(index, empty), std::invalid_argument);
+}
+
+TEST(GreedyCover, CoveredUnionReported) {
+  std::vector<util::Epc> scene{epc6("110000"), epc6("110111"), epc6("110101"),
+                               epc6("000001")};
+  BitmaskIndex index(scene);
+  const auto targets = index.bitmap_of({epc6("110000"), epc6("110111")});
+  const Schedule plan = scheduler().plan(index, targets);
+  // covered_union ⊇ targets.
+  util::IndicatorBitmap t = targets;
+  t.subtract(plan.covered_union);
+  EXPECT_TRUE(t.none());
+}
+
+}  // namespace
+}  // namespace tagwatch::core

@@ -1,0 +1,149 @@
+// Scale and long-run behaviour: the paper's largest population (400 tags),
+// frequency hopping, and dynamic populations over many cycles.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/tagwatch.hpp"
+#include "util/circular.hpp"
+
+namespace tagwatch::core {
+namespace {
+
+TEST(Stress, FourHundredTagRoundCompletes) {
+  // One inventory round over the paper's maximum population.
+  sim::World world;
+  util::Rng rng(211);
+  for (std::size_t i = 0; i < 400; ++i) {
+    sim::SimTag t;
+    t.epc = util::Epc::random(rng);
+    t.motion = std::make_shared<sim::StaticMotion>(
+        util::Vec3{rng.uniform(-5, 5), rng.uniform(-5, 5), 0});
+    world.add_tag(std::move(t));
+  }
+  rf::RfChannel channel(rf::ChannelPlan::china_920_926());
+  gen2::Gen2Reader reader(gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+                          gen2::ReaderConfig{}, world, channel,
+                          {{1, {0, 0, 2}, 8.0}}, util::Rng(212));
+  std::size_t reads = 0;
+  const auto stats = reader.run_inventory_round(
+      gen2::QueryCommand{}, [&reads](const rf::TagReading&) { ++reads; });
+  EXPECT_EQ(reads, 400u);
+  // C(400) under the paper model is ~0.6 s; the simulated round should be
+  // the same order (0.2–2 s).
+  EXPECT_GT(util::to_seconds(stats.duration), 0.2);
+  EXPECT_LT(util::to_seconds(stats.duration), 2.0);
+}
+
+TEST(Stress, TagwatchAt400TagsSelectsMinority) {
+  sim::World world;
+  util::Rng rng(213);
+  std::vector<util::Epc> movers;
+  for (std::size_t i = 0; i < 400; ++i) {
+    sim::SimTag t;
+    t.epc = util::Epc::random(rng);
+    if (i < 8) {
+      t.motion = std::make_shared<sim::CircularTrack>(
+          util::Vec3{0.5, 0.5, 0}, 0.2, 0.7, rng.uniform(0.0, util::kTwoPi));
+      movers.push_back(t.epc);
+    } else {
+      t.motion = std::make_shared<sim::StaticMotion>(
+          util::Vec3{rng.uniform(-5, 5), rng.uniform(-5, 5), 0});
+    }
+    t.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    world.add_tag(std::move(t));
+  }
+  rf::RfChannel channel(rf::ChannelPlan::single(920.625e6));
+  llrp::SimReaderClient client(
+      gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+      gen2::ReaderConfig{}, world, channel,
+      {{1, {-5, -5, 0}, 8.0}, {2, {5, 5, 0}, 8.0}}, 214);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::sec(2);
+  // Two antennas: compounding false votes converge faster at threshold 2.
+  cfg.assessor.mobile_vote_threshold = 2;
+  TagwatchController ctl(cfg, client);
+  const auto reports = ctl.run_cycles(16);
+  // Converged: the late cycles are selective with a small target set.
+  std::unordered_set<util::Epc> targeted_union;
+  for (std::size_t c = reports.size() - 4; c < reports.size(); ++c) {
+    EXPECT_FALSE(reports[c].read_all_fallback) << "cycle " << c;
+    EXPECT_LE(reports[c].targets.size(), 24u) << "cycle " << c;
+    targeted_union.insert(reports[c].targets.begin(),
+                          reports[c].targets.end());
+  }
+  // Across a few cycles, (nearly) every mover is scheduled; a single cycle
+  // can miss one whose two Phase I phases both matched a learned component.
+  std::size_t movers_targeted = 0;
+  for (const auto& m : movers) {
+    if (targeted_union.contains(m)) ++movers_targeted;
+  }
+  EXPECT_GE(movers_targeted, 7u);
+}
+
+TEST(Stress, DynamicPopulationChurn) {
+  // Tags continuously arrive and depart; the controller must keep cycling
+  // and its history must track the churn without leaks or stalls.
+  sim::World world;
+  util::Rng rng(215);
+  for (std::size_t i = 0; i < 60; ++i) {
+    sim::SimTag t;
+    t.epc = util::Epc::random(rng);
+    t.motion = std::make_shared<sim::StaticMotion>(
+        util::Vec3{rng.uniform(-3, 3), rng.uniform(-3, 3), 0});
+    // Staggered presence: each tag present for a 20 s window.
+    t.arrives = util::sec(static_cast<std::int64_t>(i));
+    t.departs = util::sec(static_cast<std::int64_t>(i) + 20);
+    t.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    world.add_tag(std::move(t));
+  }
+  rf::RfChannel channel(rf::ChannelPlan::single(920.625e6));
+  llrp::SimReaderClient client(
+      gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+      gen2::ReaderConfig{}, world, channel, {{1, {0, 0, 2}, 8.0}}, 216);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::sec(1);
+  cfg.assessor.forget_after = util::sec(10);
+  TagwatchController ctl(cfg, client);
+  std::size_t max_tracked = 0;
+  while (ctl.now() < util::sec(80)) {
+    ctl.run_cycle();
+    max_tracked = std::max(max_tracked, ctl.assessor().tracked_count());
+  }
+  // Roughly 20 tags present at once; tracking must follow the churn and
+  // forget departures rather than accumulating all 60.
+  EXPECT_GT(max_tracked, 10u);
+  EXPECT_LT(ctl.assessor().tracked_count(), 40u);
+  EXPECT_EQ(ctl.history().tag_count(), 60u);  // history keeps everything
+}
+
+TEST(Stress, HoppingReaderKeepsChannelMetadataConsistent) {
+  sim::World world;
+  util::Rng rng(217);
+  for (std::size_t i = 0; i < 10; ++i) {
+    sim::SimTag t;
+    t.epc = util::Epc::from_serial(i + 1);
+    t.motion = std::make_shared<sim::StaticMotion>(
+        util::Vec3{rng.uniform(-2, 2), rng.uniform(-2, 2), 0});
+    world.add_tag(std::move(t));
+  }
+  rf::RfChannel channel(rf::ChannelPlan::china_920_926());
+  gen2::ReaderConfig rcfg;
+  rcfg.channel_dwell = util::msec(40);
+  gen2::Gen2Reader reader(gen2::LinkTiming(gen2::LinkParams::max_throughput()),
+                          rcfg, world, channel, {{1, {0, 0, 2}, 8.0}},
+                          util::Rng(218));
+  gen2::InvFlag target = gen2::InvFlag::kA;
+  for (int round = 0; round < 60; ++round) {
+    gen2::QueryCommand q;
+    q.target = target;
+    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB : gen2::InvFlag::kA;
+    reader.run_inventory_round(q, [&reader](const rf::TagReading& r) {
+      EXPECT_LT(r.channel, 16u);
+      EXPECT_EQ(r.channel, reader.current_channel());
+    });
+  }
+}
+
+}  // namespace
+}  // namespace tagwatch::core

@@ -1,0 +1,134 @@
+// Controller configuration edge cases and Phase II scheduling economics.
+#include <gtest/gtest.h>
+
+#include "core/tagwatch.hpp"
+#include "util/circular.hpp"
+
+namespace tagwatch::core {
+namespace {
+
+struct MiniBed {
+  sim::World world;
+  rf::RfChannel channel{rf::ChannelPlan::single(920.625e6)};
+  std::vector<rf::Antenna> antennas{{1, {-5, -5, 0}, 8.0},
+                                    {2, {5, 5, 0}, 8.0}};
+  std::optional<llrp::SimReaderClient> client;
+
+  explicit MiniBed(std::size_t n_tags, std::uint64_t seed = 9) {
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < n_tags; ++i) {
+      sim::SimTag t;
+      t.epc = util::Epc::random(rng);
+      t.motion = std::make_shared<sim::StaticMotion>(
+          util::Vec3{rng.uniform(-2, 2), rng.uniform(-2, 2), 0});
+      t.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+      world.add_tag(std::move(t));
+    }
+    client.emplace(gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+                   gen2::ReaderConfig{}, world, channel, antennas, seed + 1);
+  }
+};
+
+TEST(TagwatchConfig, Phase1RoundsPerAntennaScalesPhase1) {
+  MiniBed bed(10);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(200);
+  cfg.phase1_rounds_per_antenna = 3;
+  TagwatchController ctl(cfg, *bed.client);
+  const CycleReport r = ctl.run_cycle();
+  // 2 antennas × 3 rounds, each reading all 10 tags.
+  EXPECT_EQ(r.phase1_readings, 60u);
+}
+
+TEST(TagwatchConfig, ChargeComputeTimeAdvancesClock) {
+  // With charging disabled, the inter-phase sim-time gap excludes the
+  // host compute; with it enabled the gap includes it.  Both must report
+  // a non-negative compute duration.
+  for (const bool charge : {false, true}) {
+    MiniBed bed(20, charge ? 21 : 22);
+    TagwatchConfig cfg;
+    cfg.phase2_duration = util::msec(500);
+    cfg.charge_compute_time = charge;
+    cfg.pinned_targets = {bed.world.tags()[0].epc};
+    cfg.mobile_fraction_threshold = 0.5;
+    TagwatchController ctl(cfg, *bed.client);
+    ctl.run_cycles(3);
+    const CycleReport r = ctl.run_cycle();
+    EXPECT_GE(r.schedule_compute_ms, 0.0);
+    ASSERT_TRUE(r.interphase_gap.has_value());
+    EXPECT_GT(r.interphase_gap->count(), 0);
+  }
+}
+
+TEST(TagwatchConfig, NaiveFallbackGuardInsideGreedy) {
+  // The greedy plan for a single pinned target among random EPCs should be
+  // one short-mask round covering only that tag — never costlier than the
+  // naive single full-EPC round.
+  MiniBed bed(30, 31);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(300);
+  cfg.pinned_targets = {bed.world.tags()[4].epc};
+  TagwatchController ctl(cfg, *bed.client);
+  ctl.run_cycles(6);  // enough cycles for every static tag's model to mature
+  const CycleReport r = ctl.run_cycle();
+  ASSERT_FALSE(r.read_all_fallback);
+  ASSERT_EQ(r.schedule.selections.size(), 1u);
+  const InventoryCostModel model = InventoryCostModel::paper_fit();
+  EXPECT_LE(r.schedule.estimated_cost_s, model.cost_seconds(1) + 1e-12);
+  // The selected mask is far shorter than the 96-bit EPC.
+  EXPECT_LT(r.schedule.selections[0].bitmask.mask.size(), 32u);
+}
+
+TEST(TagwatchConfig, ThresholdZeroAlwaysReadsAll) {
+  MiniBed bed(10, 41);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(300);
+  cfg.mobile_fraction_threshold = 0.0;
+  cfg.pinned_targets = {bed.world.tags()[0].epc};
+  TagwatchController ctl(cfg, *bed.client);
+  const auto reports = ctl.run_cycles(4);
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.read_all_fallback);
+  }
+}
+
+TEST(TagwatchConfig, HistoryAccumulatesAcrossCycles) {
+  MiniBed bed(8, 51);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(300);
+  TagwatchController ctl(cfg, *bed.client);
+  ctl.run_cycles(3);
+  EXPECT_EQ(ctl.history().tag_count(), 8u);
+  for (const auto& tag : bed.world.tags()) {
+    const TagHistory* h = ctl.history().find(tag.epc);
+    ASSERT_NE(h, nullptr);
+    EXPECT_GT(h->total_readings, 3u);
+  }
+}
+
+TEST(TagwatchConfig, EmptyWorldCyclesSafely) {
+  MiniBed bed(0);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(200);
+  TagwatchController ctl(cfg, *bed.client);
+  const CycleReport r = ctl.run_cycle();
+  EXPECT_TRUE(r.read_all_fallback);
+  EXPECT_EQ(r.phase1_readings, 0u);
+  EXPECT_EQ(r.phase2_readings, 0u);
+  EXPECT_TRUE(r.scene.empty());
+  EXPECT_FALSE(r.interphase_gap.has_value());
+}
+
+TEST(TagwatchConfig, SessionConfigurationRespected) {
+  MiniBed bed(6, 61);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(300);
+  cfg.session = gen2::Session::kS2;
+  TagwatchController ctl(cfg, *bed.client);
+  const CycleReport r = ctl.run_cycle();
+  EXPECT_GT(r.phase1_readings, 0u);
+  EXPECT_GT(r.phase2_readings, 0u);
+}
+
+}  // namespace
+}  // namespace tagwatch::core

@@ -1,0 +1,162 @@
+// tagwatch_sim — scenario-driven Tagwatch simulator CLI.
+//
+// Runs a complete two-phase deployment described by a key=value scenario
+// file (or built-in defaults) and reports per-cycle behaviour, final IRRs,
+// and optionally the last Phase II schedule as ROSpec XML.
+//
+// Usage:
+//   tagwatch_sim [scenario.conf]
+//
+// Scenario keys (all optional):
+//   tags            = 40          total tag count
+//   movers          = 2           tags on the turntable/track
+//   mover_speed     = 0.7         m/s
+//   people          = 0           walking multipath reflectors
+//   mode            = tagwatch    tagwatch | naive | read-all
+//   cycles          = 10
+//   phase2_seconds  = 5
+//   channels        = 1           1 or 16 (920–926 MHz plan)
+//   seed            = 2017
+//   pinned_targets  = <hex,hex>   always-scheduled EPCs
+//   irr_top         = 10          rows in the final IRR table
+//   export_schedule = false       print the last cycle's ROSpec XML
+//   votes           = 1           Phase-I motion votes needed to mark a tag
+//                                 mobile (raise to 2-3 for large multi-
+//                                 antenna scenes: false votes compound)
+//   k               = 8           mixture components per immobility model
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "core/schedule_export.hpp"
+#include "core/tagwatch.hpp"
+#include "util/circular.hpp"
+#include "util/config.hpp"
+#include "util/stats.hpp"
+
+using namespace tagwatch;
+
+namespace {
+
+core::ScheduleMode parse_mode(const std::string& mode) {
+  if (mode == "tagwatch") return core::ScheduleMode::kGreedyCover;
+  if (mode == "naive") return core::ScheduleMode::kNaiveEpcMasks;
+  if (mode == "read-all") return core::ScheduleMode::kReadAll;
+  throw std::invalid_argument("unknown mode: " + mode +
+                              " (expected tagwatch|naive|read-all)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::KeyValueConfig cfg;
+  if (argc > 1) {
+    cfg = util::KeyValueConfig::load(argv[1]);
+    std::printf("scenario: %s\n", argv[1]);
+  } else {
+    std::printf("scenario: built-in defaults (pass a .conf path to change)\n");
+  }
+
+  const auto n_tags = static_cast<std::size_t>(cfg.get_int_or("tags", 40));
+  const auto n_movers = static_cast<std::size_t>(cfg.get_int_or("movers", 2));
+  const double mover_speed = cfg.get_double_or("mover_speed", 0.7);
+  const auto n_people = static_cast<std::size_t>(cfg.get_int_or("people", 0));
+  const core::ScheduleMode mode = parse_mode(cfg.get_or("mode", "tagwatch"));
+  const auto cycles = static_cast<std::size_t>(cfg.get_int_or("cycles", 10));
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int_or("seed", 2017));
+  const bool sixteen_channels = cfg.get_int_or("channels", 1) == 16;
+  const auto irr_top = static_cast<std::size_t>(cfg.get_int_or("irr_top", 10));
+
+  // ------------------------------------------------------------- world
+  sim::World world;
+  util::Rng rng(seed);
+  std::vector<util::Epc> movers;
+  for (std::size_t i = 0; i < n_tags; ++i) {
+    sim::SimTag tag;
+    tag.epc = util::Epc::random(rng);
+    if (i < n_movers) {
+      tag.motion = std::make_shared<sim::CircularTrack>(
+          util::Vec3{0.5, 0.5, 0.0}, 0.2, mover_speed,
+          rng.uniform(0.0, util::kTwoPi));
+      movers.push_back(tag.epc);
+    } else {
+      tag.motion = std::make_shared<sim::StaticMotion>(
+          util::Vec3{rng.uniform(-3, 3), rng.uniform(-3, 3), 0.0});
+    }
+    tag.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    world.add_tag(std::move(tag));
+  }
+  util::Rng walk_rng = rng.fork();
+  const auto horizon = util::sec(static_cast<std::int64_t>(cycles) * 10);
+  for (std::size_t p = 0; p < n_people; ++p) {
+    world.add_reflector({std::make_shared<sim::RandomWaypoint>(
+                             util::Vec3{-4, -4, 0}, util::Vec3{4, 4, 0}, 1.0,
+                             horizon, walk_rng, util::sec(2)),
+                         0.3});
+  }
+
+  // ------------------------------------------------------------ reader
+  rf::RfChannel channel(sixteen_channels
+                            ? rf::ChannelPlan::china_920_926()
+                            : rf::ChannelPlan::single(920.625e6));
+  std::vector<rf::Antenna> antennas{{1, {-5, -5, 0}, 8.0},
+                                    {2, {5, -5, 0}, 8.0},
+                                    {3, {-5, 5, 0}, 8.0},
+                                    {4, {5, 5, 0}, 8.0}};
+  llrp::SimReaderClient client(
+      gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+      gen2::ReaderConfig{}, world, channel, antennas, seed + 1);
+
+  // ---------------------------------------------------------- tagwatch
+  core::TagwatchConfig twcfg;
+  twcfg.mode = mode;
+  twcfg.phase2_duration = util::sec(cfg.get_int_or("phase2_seconds", 5));
+  twcfg.pinned_targets = cfg.get_epc_list("pinned_targets");
+  twcfg.assessor.mobile_vote_threshold =
+      static_cast<std::size_t>(cfg.get_int_or("votes", 1));
+  twcfg.assessor.detector.phase_mog.max_components =
+      static_cast<std::size_t>(cfg.get_int_or("k", 8));
+  core::TagwatchController ctl(twcfg, client);
+
+  core::IrrMonitor monitor(twcfg.phase2_duration);
+  ctl.set_read_listener(
+      [&monitor](const rf::TagReading& r) { monitor.record(r); });
+
+  std::printf("\n%5s  %-10s  %7s  %7s  %9s  %12s  %10s\n", "cycle", "mode",
+              "scene", "targets", "bitmasks", "phase2 reads", "gap (ms)");
+  core::CycleReport last_report;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const core::CycleReport r = ctl.run_cycle();
+    const std::string gap =
+        r.interphase_gap
+            ? util::format_fixed(util::to_millis(*r.interphase_gap), 1)
+            : std::string("-");
+    std::printf("%5zu  %-10s  %7zu  %7zu  %9zu  %12zu  %10s\n", r.cycle_index,
+                r.read_all_fallback ? "read-all" : "selective",
+                r.scene.size(), r.targets.size(), r.schedule.selections.size(),
+                r.phase2_readings, gap.c_str());
+    last_report = r;
+  }
+
+  // --------------------------------------------------------- reporting
+  const util::SimTime now = client.now();
+  std::printf("\ntop per-tag IRRs over the last %2.0f s window:\n",
+              util::to_seconds(monitor.window()));
+  std::printf("%-26s  %8s  %s\n", "EPC", "IRR(Hz)", "role");
+  std::size_t shown = 0;
+  for (const auto& [epc, irr] : monitor.snapshot(now)) {
+    if (shown++ >= irr_top) break;
+    const bool mover =
+        std::find(movers.begin(), movers.end(), epc) != movers.end();
+    std::printf("%-26s  %8.2f  %s\n", (epc.to_hex().substr(0, 24)).c_str(),
+                irr, mover ? "mobile" : "static");
+  }
+
+  if (cfg.get_bool_or("export_schedule", false) &&
+      !last_report.schedule.selections.empty()) {
+    std::printf("\nlast Phase II schedule as ROSpec XML:\n%s",
+                core::schedule_to_xml(last_report.schedule).c_str());
+  }
+  return 0;
+}
