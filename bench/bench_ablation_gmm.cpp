@@ -71,7 +71,7 @@ double mover_irr_with_cost_model(const core::InventoryCostModel& model,
   core::TagwatchConfig cfg;
   cfg.cost_model = model;
   cfg.phase2_duration = util::sec(2);
-  core::TagwatchController ctl(cfg, *bed.client);
+  core::TagwatchController ctl(cfg, bed.reader());
   const auto reports = ctl.run_cycles(10);
   return bench::mover_irr_hz(reports, bed, 5);
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/tagwatch.hpp"
+#include "llrp/sim_reader_client.hpp"
 #include "util/circular.hpp"
 
 namespace tagwatch::bench {
@@ -49,6 +50,9 @@ struct Testbed {
     client.emplace(gen2::LinkTiming(link), gen2::ReaderConfig{}, world,
                    channel, antennas, seed + 1);
   }
+
+  /// The reader as the abstract transport — what controllers consume.
+  llrp::ReaderClient& reader() noexcept { return *client; }
 
   bool is_mover(const util::Epc& epc) const {
     for (const auto& m : mover_epcs) {

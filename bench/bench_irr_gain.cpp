@@ -27,7 +27,7 @@ double measure_irr(std::size_t n, std::size_t movers, core::ScheduleMode mode,
   cfg.phase2_duration = util::sec(2);
   // Allow scheduling up to (and slightly beyond) the 20% study point.
   cfg.mobile_fraction_threshold = 0.25;
-  core::TagwatchController ctl(cfg, *bed.client);
+  core::TagwatchController ctl(cfg, bed.reader());
   const auto reports = ctl.run_cycles(cycles);
   return bench::mover_irr_hz(reports, bed, /*warmup=*/cycles / 2);
 }

@@ -27,7 +27,7 @@ int main() {
   Testbed bed(60, 3, 801);
   core::TagwatchConfig cfg;
   cfg.phase2_duration = util::msec(500);  // short cycles: more samples
-  core::TagwatchController ctl(cfg, *bed.client);
+  core::TagwatchController ctl(cfg, bed.reader());
 
   std::vector<double> gap_ms;
   std::vector<double> compute_ms;

@@ -35,7 +35,7 @@ CaseResult run_case(std::size_t n_targets, core::ScheduleMode mode,
   }
   // Raise the fallback threshold so pinning 5/40 still schedules.
   cfg.mobile_fraction_threshold = 0.5;
-  core::TagwatchController ctl(cfg, *bed.client);
+  core::TagwatchController ctl(cfg, bed.reader());
 
   const auto reports = ctl.run_cycles(10);
   CaseResult result;

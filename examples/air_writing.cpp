@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "core/tagwatch.hpp"
+#include "llrp/sim_reader_client.hpp"
 #include "track/hologram.hpp"
 #include "util/circular.hpp"
 
@@ -80,12 +81,13 @@ std::vector<track::TrackEstimate> run(bool rate_adaptive,
   llrp::SimReaderClient client(
       gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
       gen2::ReaderConfig{}, world, channel, antennas, 28);
+  llrp::ReaderClient& reader = client;  // everything below sees only the transport interface
 
   core::TagwatchConfig cfg;
   cfg.mode = rate_adaptive ? core::ScheduleMode::kGreedyCover
                            : core::ScheduleMode::kReadAll;
   cfg.phase2_duration = util::sec(2);  // one stroke per Phase II
-  core::TagwatchController ctl(cfg, client);
+  core::TagwatchController ctl(cfg, reader);
 
   std::vector<rf::TagReading> finger_readings;
   ctl.set_read_listener([&](const rf::TagReading& r) {
@@ -94,10 +96,10 @@ std::vector<track::TrackEstimate> run(bool rate_adaptive,
 
   ctl.run_cycles(4);  // warm-up
   finger_readings.clear();
-  const util::SimTime t0 = client.now();
+  const util::SimTime t0 = reader.now();
   ctl.run_cycles(3);
   irr_out = static_cast<double>(finger_readings.size()) /
-            util::to_seconds(client.now() - t0);
+            util::to_seconds(reader.now() - t0);
 
   // Track stroke by stroke: at each 2 s boundary the fingertip teleports
   // from the stroke end back to the start, which would otherwise defeat

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "core/tagwatch.hpp"
+#include "llrp/sim_reader_client.hpp"
 #include "util/circular.hpp"
 #include "util/stats.hpp"
 
@@ -65,17 +66,18 @@ double run(core::ScheduleMode mode, util::SimDuration duration,
   llrp::SimReaderClient client(
       gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
       gen2::ReaderConfig{}, scenario->world, channel, antennas, 7);
+  llrp::ReaderClient& reader = client;  // everything below sees only the transport interface
 
   core::TagwatchConfig config;
   config.mode = mode;
   config.phase2_duration = util::sec(2);  // tighter cycles: transits are 4 s
-  core::TagwatchController tagwatch(config, client);
+  core::TagwatchController tagwatch(config, reader);
 
   std::unordered_map<util::Epc, std::size_t> counts;
   tagwatch.set_read_listener(
       [&counts](const rf::TagReading& r) { ++counts[r.epc]; });
 
-  while (client.now() < util::SimTime{0} + duration) tagwatch.run_cycle();
+  while (reader.now() < util::SimTime{0} + duration) tagwatch.run_cycle();
 
   reads_per_transit.clear();
   for (const auto& epc : scenario->parcels) {

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "core/tagwatch.hpp"
+#include "llrp/sim_reader_client.hpp"
 #include "track/hologram.hpp"
 #include "util/stats.hpp"
 #include "util/circular.hpp"
@@ -57,11 +58,12 @@ Result run_case(std::size_t stationary, bool rate_adaptive) {
   llrp::SimReaderClient client(
       gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
       gen2::ReaderConfig{}, world, channel, antennas, 5);
+  llrp::ReaderClient& reader = client;  // everything below sees only the transport interface
 
   core::TagwatchConfig config;
   config.mode = rate_adaptive ? core::ScheduleMode::kGreedyCover
                               : core::ScheduleMode::kReadAll;
-  core::TagwatchController tagwatch(config, client);
+  core::TagwatchController tagwatch(config, reader);
 
   std::vector<rf::TagReading> train_readings;
   tagwatch.set_read_listener([&](const rf::TagReading& r) {
@@ -79,9 +81,9 @@ Result run_case(std::size_t stationary, bool rate_adaptive) {
   std::size_t estimates = 0;
   for (int segment = 0; segment < 4; ++segment) {
     train_readings.clear();
-    const util::SimTime t0 = client.now();
+    const util::SimTime t0 = reader.now();
     tagwatch.run_cycles(1);
-    secs += util::to_seconds(client.now() - t0);
+    secs += util::to_seconds(reader.now() - t0);
     reads += train_readings.size();
     if (train_readings.empty()) continue;
 

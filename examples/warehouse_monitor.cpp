@@ -14,6 +14,7 @@
 #include <set>
 
 #include "core/tagwatch.hpp"
+#include "llrp/sim_reader_client.hpp"
 #include "util/circular.hpp"
 #include "util/config.hpp"
 
@@ -68,12 +69,13 @@ int main() {
   llrp::SimReaderClient client(
       gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
       gen2::ReaderConfig{}, world, channel, antennas, 3);
+  llrp::ReaderClient& reader = client;  // everything below sees only the transport interface
 
   core::TagwatchConfig config;
   config.phase2_duration =
       util::sec(file_config.get_int_or("phase2_seconds", 5));
   config.pinned_targets = file_config.get_epc_list("pinned_targets");
-  core::TagwatchController tagwatch(config, client);
+  core::TagwatchController tagwatch(config, reader);
 
   std::printf("monitoring 60 pallets; pinned = %s...\n\n",
               pallets[7].to_hex().substr(0, 8).c_str());
@@ -81,7 +83,7 @@ int main() {
               "events");
 
   std::set<util::Epc> previously_mobile;
-  while (client.now() < util::sec(200)) {
+  while (reader.now() < util::sec(200)) {
     const core::CycleReport r = tagwatch.run_cycle();
     std::string events;
     // Motion alerts: newly mobile tags.
@@ -95,7 +97,7 @@ int main() {
     const bool delivery_seen =
         std::find(r.scene.begin(), r.scene.end(), delivery_epc) != r.scene.end();
     if (delivery_seen) events += "(delivery in range) ";
-    std::printf("%6.0f  %-10s  %7zu  %s\n", util::to_seconds(client.now()),
+    std::printf("%6.0f  %-10s  %7zu  %s\n", util::to_seconds(reader.now()),
                 r.read_all_fallback ? "read-all" : "selective",
                 r.targets.size(), events.c_str());
   }

@@ -1,0 +1,94 @@
+#include "core/pipeline.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/assessor.hpp"
+#include "core/history.hpp"
+
+namespace tagwatch::core {
+
+void ReadingPipeline::add_sink(std::shared_ptr<ReadingSink> sink) {
+  if (!sink) throw std::invalid_argument("ReadingPipeline: null sink");
+  if (find(sink->name()) != nullptr) {
+    throw std::invalid_argument("ReadingPipeline: duplicate sink '" +
+                                std::string(sink->name()) + "'");
+  }
+  Entry entry;
+  entry.stats.name = std::string(sink->name());
+  entry.sink = std::move(sink);
+  entries_.push_back(std::move(entry));
+}
+
+void ReadingPipeline::set_sink(std::shared_ptr<ReadingSink> sink) {
+  if (!sink) throw std::invalid_argument("ReadingPipeline: null sink");
+  for (Entry& entry : entries_) {
+    if (entry.sink->name() == sink->name()) {
+      // Keep the slot (and its accumulated stats) — only the sink changes.
+      entry.sink = std::move(sink);
+      return;
+    }
+  }
+  add_sink(std::move(sink));
+}
+
+bool ReadingPipeline::remove_sink(std::string_view name) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->sink->name() == name) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+ReadingSink* ReadingPipeline::find(std::string_view name) {
+  for (Entry& entry : entries_) {
+    if (entry.sink->name() == name) return entry.sink.get();
+  }
+  return nullptr;
+}
+
+void ReadingPipeline::dispatch(const rf::TagReading& reading,
+                               const ReadingContext& context) {
+  ++dispatched_;
+  for (Entry& entry : entries_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool accepted = entry.sink->on_reading(reading, context);
+    const auto t1 = std::chrono::steady_clock::now();
+    entry.stats.dispatch_seconds +=
+        std::chrono::duration<double>(t1 - t0).count();
+    if (accepted) {
+      ++entry.stats.delivered;
+    } else {
+      ++entry.stats.dropped;
+    }
+  }
+}
+
+void ReadingPipeline::end_cycle(const CycleReport& report) {
+  for (Entry& entry : entries_) entry.sink->on_cycle_end(report);
+}
+
+std::vector<SinkStats> ReadingPipeline::stats() const {
+  std::vector<SinkStats> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.stats);
+  return out;
+}
+
+bool HistorySink::on_reading(const rf::TagReading& reading,
+                             const ReadingContext& context) {
+  (void)context;
+  history_->record(reading);
+  return true;
+}
+
+bool AssessorSink::on_reading(const rf::TagReading& reading,
+                              const ReadingContext& context) {
+  (void)context;
+  assessor_->ingest(reading);
+  return true;
+}
+
+}  // namespace tagwatch::core

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "core/metrics.hpp"
+
 namespace tagwatch::core {
 
 namespace {
@@ -19,22 +21,40 @@ std::uint8_t q_for_population(std::size_t n) {
 }  // namespace
 
 TagwatchController::TagwatchController(TagwatchConfig config,
-                                       llrp::SimReaderClient& client)
+                                       llrp::ReaderClient& client)
     : config_(std::move(config)), client_(&client),
-      assessor_(config_.assessor) {}
+      assessor_(config_.assessor) {
+  // Built-in consumers (Fig. 5): model training first, then the history
+  // database; application and telemetry sinks append behind them.
+  pipeline_.add_sink(std::make_shared<AssessorSink>(assessor_));
+  pipeline_.add_sink(std::make_shared<HistorySink>(history_));
+}
 
-void TagwatchController::deliver(const rf::TagReading& reading, bool in_window,
-                                 CycleReport& report, bool phase2) {
-  (void)in_window;  // The assessor tracks window state internally.
-  assessor_.ingest(reading);
-  history_.record(reading);
-  if (phase2) {
+void TagwatchController::set_read_listener(gen2::ReadCallback listener) {
+  if (!listener) {
+    pipeline_.remove_sink("app");
+    return;
+  }
+  pipeline_.set_sink(std::make_shared<CallbackSink>("app", std::move(listener)));
+}
+
+void TagwatchController::deliver(const rf::TagReading& reading,
+                                 CycleReport& report, ReadPhase phase) {
+  if (phase == ReadPhase::kPhase2) {
     ++report.phase2_readings;
     ++report.phase2_counts[reading.epc];
   } else {
     ++report.phase1_readings;
   }
-  if (listener_) listener_(reading);
+  pipeline_.dispatch(reading, ReadingContext{report.cycle_index, phase});
+}
+
+std::shared_ptr<PipelineMetrics> attach_metrics(
+    TagwatchController& controller) {
+  auto metrics = std::make_shared<PipelineMetrics>();
+  metrics->observe(controller.pipeline());
+  controller.pipeline().set_sink(metrics);
+  return metrics;
 }
 
 llrp::ROSpec TagwatchController::make_read_all_rospec(
@@ -51,7 +71,8 @@ llrp::ROSpec TagwatchController::make_read_all_rospec(
 void TagwatchController::run_phase2_selected(const Schedule& schedule,
                                              util::SimTime t_end,
                                              CycleReport& report) {
-  const std::size_t n_antennas = client_->reader().antenna_count();
+  const std::size_t n_antennas =
+      std::max<std::size_t>(client_->capabilities().antenna_count, 1);
   std::size_t pass = 0;
   while (client_->now() < t_end) {
     const std::size_t antenna = pass % n_antennas;
@@ -69,9 +90,10 @@ void TagwatchController::run_phase2_selected(const Schedule& schedule,
       ai.filters.push_back(std::move(filter));
       spec.ai_specs.push_back(std::move(ai));
       const llrp::ExecutionReport exec = client_->execute(spec);
+      report.slot_totals += exec.slot_totals;
       for (const auto& r : exec.readings) {
         if (!first_read_) first_read_ = r.timestamp;
-        deliver(r, /*in_window=*/false, report, /*phase2=*/true);
+        deliver(r, report, ReadPhase::kPhase2);
       }
     }
     ++pass;
@@ -90,16 +112,18 @@ CycleReport TagwatchController::run_cycle() {
     ai.session = config_.session;
     ai.initial_q = config_.phase1_initial_q;
     ai.stop = llrp::AiSpecStopTrigger::after_rounds(
-        client_->reader().antenna_count() * config_.phase1_rounds_per_antenna);
+        client_->capabilities().antenna_count *
+        config_.phase1_rounds_per_antenna);
     phase1.ai_specs.push_back(std::move(ai));
   }
   const llrp::ExecutionReport phase1_exec = client_->execute(phase1);
   report.phase1_duration = phase1_exec.duration;
+  report.slot_totals += phase1_exec.slot_totals;
 
   util::SimTime last_phase1_read{0};
   std::unordered_set<util::Epc> scene_set;
   for (const auto& r : phase1_exec.readings) {
-    deliver(r, /*in_window=*/true, report, /*phase2=*/false);
+    deliver(r, report, ReadPhase::kPhase1);
     scene_set.insert(r.epc);
     last_phase1_read = std::max(last_phase1_read, r.timestamp);
   }
@@ -140,10 +164,9 @@ CycleReport TagwatchController::run_cycle() {
   report.schedule_compute_ms =
       std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
   if (config_.charge_compute_time) {
-    // Put the host compute time on the simulation clock so the inter-phase
+    // Put the host compute time on the reader clock so the inter-phase
     // gap reflects it, as the paper's Fig. 17 measurement does.
-    client_->reader().world().advance(
-        util::from_seconds(report.schedule_compute_ms / 1e3));
+    client_->advance(util::from_seconds(report.schedule_compute_ms / 1e3));
   }
 
   // ----------------------------------------------------------- Phase II
@@ -160,9 +183,10 @@ CycleReport TagwatchController::run_cycle() {
   if (read_all) {
     const llrp::ExecutionReport exec =
         client_->execute(make_read_all_rospec(phase2_length));
+    report.slot_totals += exec.slot_totals;
     for (const auto& r : exec.readings) {
       if (!first_read_) first_read_ = r.timestamp;
-      deliver(r, /*in_window=*/false, report, /*phase2=*/true);
+      deliver(r, report, ReadPhase::kPhase2);
     }
   } else {
     run_phase2_selected(report.schedule, t_end, report);
@@ -177,6 +201,7 @@ CycleReport TagwatchController::run_cycle() {
     report.interphase_gap.reset();
   }
 
+  pipeline_.end_cycle(report);
   return report;
 }
 

@@ -9,21 +9,27 @@
 //              Select bitmasks chosen by greedy set cover, then read only
 //              that subpopulation intensively for the rest of the cycle.
 //
-// Every reading from both phases is delivered to the application callback
-// and into the history database; Phase II readings also continue training
-// the immobility models, which is what makes state transitions converge
-// within about one cycle (§4.3).
+// Every reading from both phases flows through the ReadingPipeline — an
+// ordered fan-out to the assessor (immobility-model training), the history
+// database, the application sink, and any attached telemetry — which is
+// what makes state transitions converge within about one cycle (§4.3).
+//
+// The controller drives the reader exclusively through the abstract
+// llrp::ReaderClient transport: the simulator, a journal replay, or (in
+// the future) a physical LLRP reader all plug in behind it.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/assessor.hpp"
 #include "core/history.hpp"
+#include "core/pipeline.hpp"
 #include "core/setcover.hpp"
-#include "llrp/sim_reader_client.hpp"
+#include "llrp/reader_client.hpp"
 
 namespace tagwatch::core {
 
@@ -96,13 +102,19 @@ struct CycleReport {
   std::optional<util::SimDuration> interphase_gap;
   /// Per-tag Phase II reading counts (IRR = count / phase2 duration).
   std::unordered_map<util::Epc, std::size_t> phase2_counts;
+  /// Gen2 slot accounting summed over every ROSpec the cycle executed
+  /// (both phases) — the raw material for efficiency telemetry.
+  gen2::RoundStats slot_totals;
 };
+
+class PipelineMetrics;  // core/metrics.hpp
 
 /// The rate-adaptive reading controller.
 class TagwatchController {
  public:
-  /// `client` must outlive the controller.
-  TagwatchController(TagwatchConfig config, llrp::SimReaderClient& client);
+  /// `client` must outlive the controller.  Any ReaderClient backend works:
+  /// the simulator, a recording decorator, or a journal replay.
+  TagwatchController(TagwatchConfig config, llrp::ReaderClient& client);
 
   /// Runs one full cycle (Phase I + Phase II) and reports it.
   CycleReport run_cycle();
@@ -110,31 +122,43 @@ class TagwatchController {
   /// Runs `n` cycles, returning every report.
   std::vector<CycleReport> run_cycles(std::size_t n);
 
-  /// Delivery of every reading (both phases) to the upper application.
-  void set_read_listener(gen2::ReadCallback listener) {
-    listener_ = std::move(listener);
-  }
+  /// Delivery of every reading (both phases) to the upper application —
+  /// sugar for installing a CallbackSink named "app" in the pipeline.
+  /// Passing nullptr removes it.
+  void set_read_listener(gen2::ReadCallback listener);
+
+  /// The delivery pipeline.  Built-in sinks "assessor" and "history" are
+  /// registered at construction; applications append their own (telemetry,
+  /// databases, trackers) without touching the control flow.
+  ReadingPipeline& pipeline() noexcept { return pipeline_; }
+  const ReadingPipeline& pipeline() const noexcept { return pipeline_; }
 
   const HistoryDatabase& history() const noexcept { return history_; }
   MotionAssessor& assessor() noexcept { return assessor_; }
   const TagwatchConfig& config() const noexcept { return config_; }
+  llrp::ReaderClient& client() noexcept { return *client_; }
   util::SimTime now() const noexcept { return client_->now(); }
 
  private:
-  void deliver(const rf::TagReading& reading, bool in_window,
-               CycleReport& report, bool phase2);
+  void deliver(const rf::TagReading& reading, CycleReport& report,
+               ReadPhase phase);
   llrp::ROSpec make_read_all_rospec(util::SimDuration duration) const;
   void run_phase2_selected(const Schedule& schedule, util::SimTime t_end,
                            CycleReport& report);
 
   TagwatchConfig config_;
-  llrp::SimReaderClient* client_;
+  llrp::ReaderClient* client_;
   MotionAssessor assessor_;
   HistoryDatabase history_;
-  gen2::ReadCallback listener_;
+  ReadingPipeline pipeline_;
   std::size_t cycle_counter_ = 0;
   /// Timestamp of the first Phase II reading of the running cycle.
   std::optional<util::SimTime> first_read_;
 };
+
+/// Attaches a PipelineMetrics sink to the controller's pipeline (bound to
+/// observe the pipeline's per-sink stats) and returns it.  Defined in
+/// metrics-aware code to keep this header light.
+std::shared_ptr<PipelineMetrics> attach_metrics(TagwatchController& controller);
 
 }  // namespace tagwatch::core

@@ -66,6 +66,17 @@ struct RoundStats {
   util::SimDuration duration{0};    ///< Air + overhead time of the round.
 };
 
+/// Accumulates one round's counters into a running total.
+inline RoundStats& operator+=(RoundStats& total, const RoundStats& round) {
+  total.slots += round.slots;
+  total.empty_slots += round.empty_slots;
+  total.collision_slots += round.collision_slots;
+  total.success_slots += round.success_slots;
+  total.lost_slots += round.lost_slots;
+  total.duration += round.duration;
+  return total;
+}
+
 /// Invoked for every successful tag read, in slot order.
 using ReadCallback = std::function<void(const rf::TagReading&)>;
 
@@ -97,6 +108,7 @@ class Gen2Reader {
   std::size_t current_channel() const noexcept { return channel_idx_; }
 
   util::SimTime now() const noexcept { return world_->now(); }
+  const rf::RfChannel& channel() const noexcept { return *channel_; }
   const LinkTiming& timing() const noexcept { return timing_; }
   const ReaderConfig& config() const noexcept { return config_; }
   FlagStore& flags() noexcept { return flags_; }

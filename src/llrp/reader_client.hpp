@@ -1,0 +1,79 @@
+// ReaderClient: the abstract transport between Tagwatch and a reader.
+//
+// The paper positions Tagwatch as middleware between any LLRP-speaking Gen2
+// reader and upper applications (Fig. 5).  This interface is that seam: the
+// controller (and every tool/bench/example) drives a reader exclusively
+// through ROSpecs and reads the results back, never naming a concrete
+// backend.  Implementations:
+//
+//   SimReaderClient        — executes ROSpecs on the simulated Gen2 reader.
+//   RecordingReaderClient  — decorator journaling every operation to a
+//                            CSV trace (reader_journal.hpp).
+//   ReplayReaderClient     — replays a journal deterministically, with no
+//                            simulator behind it.
+//
+// A future LTK-backed client for physical readers slots in the same way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen2/reader.hpp"
+#include "llrp/rospec.hpp"
+
+namespace tagwatch::llrp {
+
+/// Aggregate result of executing one ROSpec.
+struct ExecutionReport {
+  std::vector<rf::TagReading> readings;
+  std::size_t rounds = 0;
+  util::SimDuration duration{0};
+  gen2::RoundStats slot_totals;  ///< Summed over all rounds.
+};
+
+/// What a reader backend can do — the LLRP GET_READER_CAPABILITIES subset
+/// the controller consults when building ROSpecs.
+struct ReaderCapabilities {
+  /// Human-readable backend identifier ("sim-gen2", "replay", ...).
+  std::string model;
+  /// Antenna ports the backend can drive (Phase I cycles one round per
+  /// antenna; Phase II round-robins selective rounds across them).
+  std::size_t antenna_count = 1;
+  /// Channels in the backend's hop plan.
+  std::size_t channel_count = 1;
+  /// Whether C1G2 Truncate on the final Select is honored.
+  bool supports_truncation = true;
+  /// False for pre-recorded backends (ReplayReaderClient): time comes from
+  /// the journal, not from executing anything.
+  bool live = true;
+};
+
+/// Abstract reader transport.  All implementations are single-threaded and
+/// advance a simulated (or journaled) clock as a side effect of execute().
+class ReaderClient {
+ public:
+  ReaderClient() = default;
+  ReaderClient(const ReaderClient&) = delete;
+  ReaderClient& operator=(const ReaderClient&) = delete;
+  virtual ~ReaderClient() = default;
+
+  /// Runs the ROSpec to completion and returns everything it read.
+  virtual ExecutionReport execute(const ROSpec& spec) = 0;
+
+  /// Current reader-clock time.
+  virtual util::SimTime now() const = 0;
+
+  /// Streams every read to `listener` (in addition to execute()'s report),
+  /// in slot order, as it happens.  Pass nullptr to detach.
+  virtual void set_read_listener(gen2::ReadCallback listener) = 0;
+
+  /// Static capability query (LLRP GET_READER_CAPABILITIES).
+  virtual ReaderCapabilities capabilities() const = 0;
+
+  /// Advances the reader clock by `d` without reading — how the controller
+  /// charges out-of-band host time (e.g. scheduling compute) onto the
+  /// timeline so inter-phase gaps reflect it (Fig. 17).
+  virtual void advance(util::SimDuration d) = 0;
+};
+
+}  // namespace tagwatch::llrp

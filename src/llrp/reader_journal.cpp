@@ -1,0 +1,213 @@
+#include "llrp/reader_journal.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "llrp/rospec_xml.hpp"
+
+namespace tagwatch::llrp {
+
+namespace {
+
+constexpr const char* kHeader = "# tagwatch-reader-journal v1";
+
+std::string format_double(double v) {
+  char buf[64];
+  // %.17g round-trips every IEEE-754 double exactly.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Splits one CSV line into fields (no quoting: fields never contain ',').
+std::vector<std::string> split_fields(std::string_view line) {
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t comma = line.find(',', pos);
+    if (comma == std::string_view::npos) {
+      fields.emplace_back(line.substr(pos));
+      break;
+    }
+    fields.emplace_back(line.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return fields;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("ReaderJournal: line " +
+                              std::to_string(line_no) + ": " + what);
+}
+
+std::int64_t parse_int(const std::string& s, std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(s, &used);
+    if (used != s.size()) fail(line_no, "trailing garbage in '" + s + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(line_no, "expected integer, got '" + s + "'");
+  } catch (const std::out_of_range&) {
+    fail(line_no, "integer out of range: '" + s + "'");
+  }
+}
+
+std::uint64_t parse_hex64(const std::string& s, std::size_t line_no) {
+  if (s.empty()) fail(line_no, "empty digest");
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s.c_str(), &end, 16);
+  if (end != s.c_str() + s.size()) fail(line_no, "bad digest '" + s + "'");
+  return v;
+}
+
+double parse_double(const std::string& s, std::size_t line_no) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size()) {
+    fail(line_no, "expected number, got '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t rospec_digest(const ROSpec& spec) {
+  const std::string xml = to_xml(spec);
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64-bit offset basis.
+  for (const char c : xml) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string ReaderJournal::to_csv() const {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  std::string model = capabilities.model;
+  for (char& c : model) {
+    if (c == ',' || c == '\n') c = ';';
+  }
+  out << "C," << model << ',' << capabilities.antenna_count << ','
+      << capabilities.channel_count << ','
+      << (capabilities.supports_truncation ? 1 : 0) << ','
+      << (capabilities.live ? 1 : 0) << '\n';
+  for (const JournalEntry& e : entries_) {
+    if (e.kind == JournalEntry::Kind::kAdvance) {
+      out << "A," << e.advance.count() << '\n';
+      continue;
+    }
+    char digest[17];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(e.digest));
+    const gen2::RoundStats& st = e.report.slot_totals;
+    out << "E," << digest << ',' << e.start.count() << ','
+        << e.report.duration.count() << ',' << e.report.rounds << ','
+        << st.slots << ',' << st.empty_slots << ',' << st.collision_slots
+        << ',' << st.success_slots << ',' << st.lost_slots << ','
+        << st.duration.count() << ',' << e.report.readings.size() << '\n';
+    for (const rf::TagReading& r : e.report.readings) {
+      out << "R," << r.epc.to_binary() << ','
+          << static_cast<unsigned>(r.antenna) << ',' << r.channel << ','
+          << format_double(r.phase_rad) << ',' << format_double(r.rssi_dbm)
+          << ',' << r.timestamp.count() << '\n';
+    }
+  }
+  return out.str();
+}
+
+ReaderJournal ReaderJournal::from_csv(std::string_view csv) {
+  ReaderJournal journal;
+  std::istringstream in{std::string(csv)};
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t pending_readings = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1) {
+      if (line != kHeader) fail(line_no, "missing journal header");
+      continue;
+    }
+    const std::vector<std::string> f = split_fields(line);
+    if (f[0] == "C") {
+      if (f.size() != 6) fail(line_no, "capabilities line needs 6 fields");
+      journal.capabilities.model = f[1];
+      journal.capabilities.antenna_count =
+          static_cast<std::size_t>(parse_int(f[2], line_no));
+      journal.capabilities.channel_count =
+          static_cast<std::size_t>(parse_int(f[3], line_no));
+      journal.capabilities.supports_truncation = parse_int(f[4], line_no) != 0;
+      journal.capabilities.live = parse_int(f[5], line_no) != 0;
+    } else if (f[0] == "A") {
+      if (pending_readings != 0) fail(line_no, "readings still pending");
+      if (f.size() != 2) fail(line_no, "advance line needs 2 fields");
+      JournalEntry e;
+      e.kind = JournalEntry::Kind::kAdvance;
+      e.advance = util::SimDuration(parse_int(f[1], line_no));
+      journal.push(std::move(e));
+    } else if (f[0] == "E") {
+      if (pending_readings != 0) fail(line_no, "readings still pending");
+      if (f.size() != 12) fail(line_no, "execute line needs 12 fields");
+      JournalEntry e;
+      e.kind = JournalEntry::Kind::kExecute;
+      e.digest = parse_hex64(f[1], line_no);
+      e.start = util::SimTime(parse_int(f[2], line_no));
+      e.report.duration = util::SimDuration(parse_int(f[3], line_no));
+      e.report.rounds = static_cast<std::size_t>(parse_int(f[4], line_no));
+      gen2::RoundStats& st = e.report.slot_totals;
+      st.slots = static_cast<std::size_t>(parse_int(f[5], line_no));
+      st.empty_slots = static_cast<std::size_t>(parse_int(f[6], line_no));
+      st.collision_slots = static_cast<std::size_t>(parse_int(f[7], line_no));
+      st.success_slots = static_cast<std::size_t>(parse_int(f[8], line_no));
+      st.lost_slots = static_cast<std::size_t>(parse_int(f[9], line_no));
+      st.duration = util::SimDuration(parse_int(f[10], line_no));
+      pending_readings = static_cast<std::size_t>(parse_int(f[11], line_no));
+      e.report.readings.reserve(pending_readings);
+      journal.push(std::move(e));
+    } else if (f[0] == "R") {
+      if (pending_readings == 0) fail(line_no, "unexpected reading line");
+      if (f.size() != 7) fail(line_no, "reading line needs 7 fields");
+      rf::TagReading r;
+      try {
+        r.epc = util::Epc(util::BitString::from_binary(f[1]));
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+      r.antenna = static_cast<rf::AntennaId>(parse_int(f[2], line_no));
+      r.channel = static_cast<std::size_t>(parse_int(f[3], line_no));
+      r.phase_rad = parse_double(f[4], line_no);
+      r.rssi_dbm = parse_double(f[5], line_no);
+      r.timestamp = util::SimTime(parse_int(f[6], line_no));
+      journal.entries_.back().report.readings.push_back(std::move(r));
+      --pending_readings;
+    } else {
+      fail(line_no, "unknown record kind '" + f[0] + "'");
+    }
+  }
+  if (pending_readings != 0) {
+    fail(line_no, "journal truncated mid-entry");
+  }
+  return journal;
+}
+
+void ReaderJournal::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("ReaderJournal: cannot open " + path);
+  out << to_csv();
+  if (!out) throw std::runtime_error("ReaderJournal: write failed: " + path);
+}
+
+ReaderJournal ReaderJournal::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("ReaderJournal: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_csv(buf.str());
+}
+
+}  // namespace tagwatch::llrp

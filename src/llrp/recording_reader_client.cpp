@@ -1,0 +1,47 @@
+#include "llrp/recording_reader_client.hpp"
+
+namespace tagwatch::llrp {
+
+RecordingReaderClient::RecordingReaderClient(ReaderClient& inner)
+    : inner_(&inner) {
+  // Tap the inner client's stream so our listener sees readings live (in
+  // slot order, mid-execute) rather than batched when execute() returns.
+  inner_->set_read_listener([this](const rf::TagReading& reading) {
+    if (listener_) listener_(reading);
+  });
+  journal_.capabilities = inner_->capabilities();
+}
+
+ExecutionReport RecordingReaderClient::execute(const ROSpec& spec) {
+  JournalEntry entry;
+  entry.kind = JournalEntry::Kind::kExecute;
+  entry.digest = rospec_digest(spec);
+  entry.start = inner_->now();
+  entry.report = inner_->execute(spec);
+  const ExecutionReport report = entry.report;
+  journal_.push(std::move(entry));
+  return report;
+}
+
+ReaderCapabilities RecordingReaderClient::capabilities() const {
+  ReaderCapabilities caps = inner_->capabilities();
+  caps.model = "recording(" + caps.model + ")";
+  return caps;
+}
+
+void RecordingReaderClient::advance(util::SimDuration d) {
+  JournalEntry entry;
+  entry.kind = JournalEntry::Kind::kAdvance;
+  entry.advance = d;
+  journal_.push(std::move(entry));
+  inner_->advance(d);
+}
+
+ReaderJournal RecordingReaderClient::take_journal() {
+  ReaderJournal out = std::move(journal_);
+  journal_ = ReaderJournal{};
+  journal_.capabilities = inner_->capabilities();
+  return out;
+}
+
+}  // namespace tagwatch::llrp

@@ -1,0 +1,44 @@
+// RecordingReaderClient: a ReaderClient decorator that journals every
+// operation it forwards.
+//
+// Wrap any backend (typically SimReaderClient) and run a deployment through
+// it: the recorder captures each execute()'s ROSpec digest, start time, and
+// full ExecutionReport, plus every advance() charge, into a ReaderJournal.
+// Save the journal and a ReplayReaderClient can re-run the exact session —
+// the regression-testing loop for scheduler decisions against captured
+// traces.
+#pragma once
+
+#include "llrp/reader_client.hpp"
+#include "llrp/reader_journal.hpp"
+
+namespace tagwatch::llrp {
+
+/// Journals every ROSpec execution + reading while forwarding to `inner`.
+class RecordingReaderClient final : public ReaderClient {
+ public:
+  /// `inner` must outlive the recorder.  Readings stream through to the
+  /// recorder's listener in slot order, exactly as `inner` produces them.
+  explicit RecordingReaderClient(ReaderClient& inner);
+
+  ExecutionReport execute(const ROSpec& spec) override;
+  util::SimTime now() const override { return inner_->now(); }
+  void set_read_listener(gen2::ReadCallback listener) override {
+    listener_ = std::move(listener);
+  }
+  ReaderCapabilities capabilities() const override;
+  void advance(util::SimDuration d) override;
+
+  /// The journal accumulated so far.
+  const ReaderJournal& journal() const noexcept { return journal_; }
+
+  /// Moves the journal out (the recorder starts a fresh one).
+  ReaderJournal take_journal();
+
+ private:
+  ReaderClient* inner_;
+  gen2::ReadCallback listener_;
+  ReaderJournal journal_;
+};
+
+}  // namespace tagwatch::llrp

@@ -1,0 +1,88 @@
+#include "llrp/replay_reader_client.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tagwatch::llrp {
+
+namespace {
+
+[[noreturn]] void diverged(std::size_t index, const std::string& what) {
+  throw std::runtime_error("ReplayReaderClient: entry " +
+                           std::to_string(index) + ": " + what);
+}
+
+}  // namespace
+
+ReplayReaderClient::ReplayReaderClient(ReaderJournal journal, bool strict)
+    : journal_(std::move(journal)), strict_(strict) {
+  // Start the clock where the recording did (first execute's start time).
+  for (const JournalEntry& e : journal_.entries()) {
+    if (e.kind == JournalEntry::Kind::kExecute) {
+      now_ = e.start;
+      break;
+    }
+  }
+}
+
+const JournalEntry& ReplayReaderClient::take(JournalEntry::Kind expected) {
+  if (cursor_ >= journal_.size()) {
+    diverged(cursor_, "journal exhausted (recorded run was shorter)");
+  }
+  const JournalEntry& entry = journal_.entries()[cursor_];
+  if (entry.kind != expected) {
+    diverged(cursor_, expected == JournalEntry::Kind::kExecute
+                          ? "execute() issued where an advance was recorded"
+                          : "advance() issued where an execute was recorded");
+  }
+  ++cursor_;
+  return entry;
+}
+
+ExecutionReport ReplayReaderClient::execute(const ROSpec& spec) {
+  // Non-strict replay tolerates interleaved advances it didn't expect by
+  // skipping to the next recorded execute.
+  if (!strict_) {
+    while (cursor_ < journal_.size() &&
+           journal_.entries()[cursor_].kind == JournalEntry::Kind::kAdvance) {
+      now_ += journal_.entries()[cursor_].advance;
+      ++cursor_;
+    }
+  }
+  const JournalEntry& entry = take(JournalEntry::Kind::kExecute);
+  if (strict_) {
+    const std::uint64_t digest = rospec_digest(spec);
+    if (digest != entry.digest) {
+      diverged(cursor_ - 1,
+               "ROSpec diverges from the recorded operation (digest "
+               "mismatch) — the controller under replay is making "
+               "different scheduling decisions than the recorded one");
+    }
+  }
+  now_ = entry.start + entry.report.duration;
+  if (listener_) {
+    for (const rf::TagReading& r : entry.report.readings) listener_(r);
+  }
+  return entry.report;
+}
+
+ReaderCapabilities ReplayReaderClient::capabilities() const {
+  ReaderCapabilities caps = journal_.capabilities;
+  caps.model = "replay(" + caps.model + ")";
+  caps.live = false;
+  return caps;
+}
+
+void ReplayReaderClient::advance(util::SimDuration d) {
+  if (cursor_ < journal_.size() &&
+      journal_.entries()[cursor_].kind == JournalEntry::Kind::kAdvance) {
+    now_ += journal_.entries()[cursor_].advance;
+    ++cursor_;
+    return;
+  }
+  if (strict_) take(JournalEntry::Kind::kAdvance);  // Throws with context.
+  // Non-strict with no recorded advance: stay on the journal's timeline.
+  (void)d;
+}
+
+}  // namespace tagwatch::llrp

@@ -1,0 +1,53 @@
+// ReplayReaderClient: replays a ReaderJournal deterministically.
+//
+// No simulator, no hardware: each execute() call pops the next recorded
+// operation, verifies the issued ROSpec matches the recorded one (strict
+// mode), streams the recorded readings to the listener, and moves the clock
+// to the recorded end time.  advance() likewise consumes the recorded
+// charge, *ignoring* the caller-supplied amount — host compute time varies
+// run to run, and pinning the clock to the journal is what makes a replayed
+// controller reproduce the recorded run bit-for-bit.
+#pragma once
+
+#include "llrp/reader_client.hpp"
+#include "llrp/reader_journal.hpp"
+
+namespace tagwatch::llrp {
+
+/// Replays a recorded reader session.
+class ReplayReaderClient final : public ReaderClient {
+ public:
+  /// `strict`: throw std::runtime_error when the controller under replay
+  /// issues an operation that diverges from the journal (different ROSpec
+  /// digest, execute where an advance was recorded, or running past the
+  /// end).  Non-strict replay skips the checks it can and keeps going.
+  explicit ReplayReaderClient(ReaderJournal journal, bool strict = true);
+
+  ExecutionReport execute(const ROSpec& spec) override;
+  util::SimTime now() const override { return now_; }
+  void set_read_listener(gen2::ReadCallback listener) override {
+    listener_ = std::move(listener);
+  }
+  ReaderCapabilities capabilities() const override;
+
+  /// Consumes the recorded advance (the argument is intentionally unused —
+  /// see file comment).  Strict replay requires the next recorded
+  /// operation to be an advance.
+  void advance(util::SimDuration d) override;
+
+  /// Journal entries not yet replayed.
+  std::size_t remaining() const noexcept {
+    return journal_.size() - cursor_;
+  }
+
+ private:
+  const JournalEntry& take(JournalEntry::Kind expected);
+
+  ReaderJournal journal_;
+  std::size_t cursor_ = 0;
+  util::SimTime now_{0};
+  bool strict_;
+  gen2::ReadCallback listener_;
+};
+
+}  // namespace tagwatch::llrp

@@ -2,19 +2,6 @@
 
 namespace tagwatch::llrp {
 
-namespace {
-
-void accumulate(gen2::RoundStats& total, const gen2::RoundStats& round) {
-  total.slots += round.slots;
-  total.empty_slots += round.empty_slots;
-  total.collision_slots += round.collision_slots;
-  total.success_slots += round.success_slots;
-  total.lost_slots += round.lost_slots;
-  total.duration += round.duration;
-}
-
-}  // namespace
-
 SimReaderClient::SimReaderClient(gen2::LinkTiming timing,
                                  gen2::ReaderConfig config, sim::World& world,
                                  const rf::RfChannel& channel,
@@ -102,10 +89,20 @@ void SimReaderClient::run_aispec(const AISpec& spec, ExecutionReport& report) {
     query.q = spec.initial_q;
 
     const gen2::RoundStats stats = reader_.run_inventory_round(query, on_read);
-    accumulate(report.slot_totals, stats);
+    report.slot_totals += stats;
     ++rounds_done;
     ++report.rounds;
   }
+}
+
+ReaderCapabilities SimReaderClient::capabilities() const {
+  ReaderCapabilities caps;
+  caps.model = "sim-gen2";
+  caps.antenna_count = reader_.antenna_count();
+  caps.channel_count = reader_.channel().plan().channel_count();
+  caps.supports_truncation = true;
+  caps.live = true;
+  return caps;
 }
 
 ExecutionReport SimReaderClient::execute(const ROSpec& spec) {

@@ -9,17 +9,10 @@
 #include <vector>
 
 #include "gen2/reader.hpp"
+#include "llrp/reader_client.hpp"
 #include "llrp/rospec.hpp"
 
 namespace tagwatch::llrp {
-
-/// Aggregate result of executing one ROSpec.
-struct ExecutionReport {
-  std::vector<rf::TagReading> readings;
-  std::size_t rounds = 0;
-  util::SimDuration duration{0};
-  gen2::RoundStats slot_totals;  ///< Summed over all rounds.
-};
 
 /// Executes ROSpecs on a simulated reader.
 ///
@@ -28,24 +21,27 @@ struct ExecutionReport {
 /// unfiltered rounds, the configured filters otherwise), so each round
 /// re-inventories its full population — the repeated-reading discipline
 /// the paper's measurements assume.
-class SimReaderClient {
+class SimReaderClient final : public ReaderClient {
  public:
   /// `world` and `channel` must outlive the client.
   SimReaderClient(gen2::LinkTiming timing, gen2::ReaderConfig config,
                   sim::World& world, const rf::RfChannel& channel,
                   std::vector<rf::Antenna> antennas, std::uint64_t seed);
 
-  /// Streams every read to `listener` (in addition to the returned report).
-  void set_read_listener(gen2::ReadCallback listener) {
+  void set_read_listener(gen2::ReadCallback listener) override {
     listener_ = std::move(listener);
   }
 
-  /// Runs the ROSpec to completion and returns everything it read.
-  ExecutionReport execute(const ROSpec& spec);
+  ExecutionReport execute(const ROSpec& spec) override;
+
+  ReaderCapabilities capabilities() const override;
+
+  /// Advances the simulated world clock (idle reader time).
+  void advance(util::SimDuration d) override { reader_.world().advance(d); }
 
   /// The underlying simulated reader (for tests and advanced callers).
   gen2::Gen2Reader& reader() noexcept { return reader_; }
-  util::SimTime now() const noexcept { return reader_.now(); }
+  util::SimTime now() const noexcept override { return reader_.now(); }
 
  private:
   void run_aispec(const AISpec& spec, ExecutionReport& report);

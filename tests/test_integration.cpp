@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/tagwatch.hpp"
+#include "llrp/sim_reader_client.hpp"
 #include "util/circular.hpp"
 
 namespace tagwatch::core {

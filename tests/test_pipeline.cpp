@@ -1,0 +1,256 @@
+// ReadingPipeline mechanics and the PipelineMetrics accounting contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "core/metrics.hpp"
+#include "core/tagwatch.hpp"
+#include "llrp/sim_reader_client.hpp"
+#include "util/circular.hpp"
+
+namespace tagwatch::core {
+namespace {
+
+rf::TagReading make_reading(std::uint64_t t_us = 0) {
+  rf::TagReading r;
+  r.epc = util::Epc::from_hex("3000AABBCCDD");
+  r.antenna = 1;
+  r.timestamp = util::usec(static_cast<std::int64_t>(t_us));
+  return r;
+}
+
+/// Counts deliveries; optionally declines every reading.
+class CountingSink final : public ReadingSink {
+ public:
+  CountingSink(std::string name, bool accept = true)
+      : name_(std::move(name)), accept_(accept) {}
+
+  std::string_view name() const override { return name_; }
+  bool on_reading(const rf::TagReading&, const ReadingContext& ctx) override {
+    ++seen_;
+    last_phase_ = ctx.phase;
+    last_cycle_ = ctx.cycle_index;
+    return accept_;
+  }
+  void on_cycle_end(const CycleReport&) override { ++cycles_; }
+
+  std::size_t seen_ = 0;
+  std::size_t cycles_ = 0;
+  ReadPhase last_phase_ = ReadPhase::kPhase1;
+  std::size_t last_cycle_ = 0;
+
+ private:
+  std::string name_;
+  bool accept_;
+};
+
+TEST(ReadingPipeline, DispatchesToEverySinkInOrder) {
+  ReadingPipeline pipeline;
+  auto first = std::make_shared<CountingSink>("first");
+  auto second = std::make_shared<CountingSink>("second");
+  pipeline.add_sink(first);
+  pipeline.add_sink(second);
+  ASSERT_EQ(pipeline.sink_count(), 2u);
+
+  pipeline.dispatch(make_reading(), {/*cycle_index=*/3, ReadPhase::kPhase2});
+  EXPECT_EQ(first->seen_, 1u);
+  EXPECT_EQ(second->seen_, 1u);
+  EXPECT_EQ(second->last_phase_, ReadPhase::kPhase2);
+  EXPECT_EQ(second->last_cycle_, 3u);
+  EXPECT_EQ(pipeline.dispatched_total(), 1u);
+
+  const auto stats = pipeline.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "first");
+  EXPECT_EQ(stats[1].name, "second");
+}
+
+TEST(ReadingPipeline, DecliningSinkCountsAsDroppedAndDeliveryContinues) {
+  ReadingPipeline pipeline;
+  auto refuser = std::make_shared<CountingSink>("refuser", /*accept=*/false);
+  auto taker = std::make_shared<CountingSink>("taker");
+  pipeline.add_sink(refuser);
+  pipeline.add_sink(taker);
+
+  for (int i = 0; i < 5; ++i) {
+    pipeline.dispatch(make_reading(static_cast<std::uint64_t>(i)), {});
+  }
+  const auto stats = pipeline.stats();
+  EXPECT_EQ(stats[0].delivered, 0u);
+  EXPECT_EQ(stats[0].dropped, 5u);
+  EXPECT_EQ(stats[1].delivered, 5u);
+  EXPECT_EQ(stats[1].dropped, 0u);
+  EXPECT_EQ(taker->seen_, 5u);
+  EXPECT_GE(stats[0].mean_dispatch_us(), 0.0);
+}
+
+TEST(ReadingPipeline, AddRejectsNullAndDuplicateNames) {
+  ReadingPipeline pipeline;
+  pipeline.add_sink(std::make_shared<CountingSink>("a"));
+  EXPECT_THROW(pipeline.add_sink(nullptr), std::invalid_argument);
+  EXPECT_THROW(pipeline.add_sink(std::make_shared<CountingSink>("a")),
+               std::invalid_argument);
+}
+
+TEST(ReadingPipeline, SetSinkReplacesByNamePreservingOrder) {
+  ReadingPipeline pipeline;
+  pipeline.add_sink(std::make_shared<CountingSink>("a"));
+  pipeline.add_sink(std::make_shared<CountingSink>("b"));
+  auto replacement = std::make_shared<CountingSink>("a");
+  pipeline.set_sink(replacement);
+  EXPECT_EQ(pipeline.sink_count(), 2u);
+  EXPECT_EQ(pipeline.find("a"), replacement.get());
+  EXPECT_EQ(pipeline.stats()[0].name, "a");  // still first
+
+  pipeline.set_sink(std::make_shared<CountingSink>("c"));  // appends
+  EXPECT_EQ(pipeline.sink_count(), 3u);
+}
+
+TEST(ReadingPipeline, RemoveSinkAndFind) {
+  ReadingPipeline pipeline;
+  pipeline.add_sink(std::make_shared<CountingSink>("a"));
+  EXPECT_NE(pipeline.find("a"), nullptr);
+  EXPECT_TRUE(pipeline.remove_sink("a"));
+  EXPECT_FALSE(pipeline.remove_sink("a"));
+  EXPECT_EQ(pipeline.find("a"), nullptr);
+  EXPECT_EQ(pipeline.sink_count(), 0u);
+}
+
+TEST(ReadingPipeline, EndCycleReachesEverySink) {
+  ReadingPipeline pipeline;
+  auto sink = std::make_shared<CountingSink>("s");
+  pipeline.add_sink(sink);
+  CycleReport report;
+  pipeline.end_cycle(report);
+  pipeline.end_cycle(report);
+  EXPECT_EQ(sink->cycles_, 2u);
+}
+
+// ------------------------------------------------- controller integration
+
+struct PipelineBed {
+  sim::World world;
+  rf::RfChannel channel{rf::ChannelPlan::single(920.625e6)};
+  std::vector<rf::Antenna> antennas{{1, {-5, -5, 0}, 8.0},
+                                    {2, {5, 5, 0}, 8.0}};
+  std::optional<llrp::SimReaderClient> client;
+
+  explicit PipelineBed(std::size_t n_tags, std::size_t n_movers = 1,
+                       std::uint64_t seed = 77) {
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < n_tags; ++i) {
+      sim::SimTag t;
+      t.epc = util::Epc::random(rng);
+      if (i < n_movers) {
+        t.motion = std::make_shared<sim::CircularTrack>(
+            util::Vec3{0.5, 0.5, 0}, 0.2, 0.7, static_cast<double>(i));
+      } else {
+        t.motion = std::make_shared<sim::StaticMotion>(
+            util::Vec3{rng.uniform(-2, 2), rng.uniform(-2, 2), 0});
+      }
+      t.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+      world.add_tag(std::move(t));
+    }
+    client.emplace(gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+                   gen2::ReaderConfig{}, world, channel, antennas, seed + 1);
+  }
+};
+
+TEST(PipelineMetrics, PerSinkCountsSumToBothPhasesReadings) {
+  PipelineBed bed(15);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::sec(1);
+  TagwatchController ctl(cfg, *bed.client);
+  std::size_t app_readings = 0;
+  ctl.set_read_listener(
+      [&app_readings](const rf::TagReading&) { ++app_readings; });
+  const std::shared_ptr<PipelineMetrics> metrics = attach_metrics(ctl);
+
+  std::uint64_t phase1 = 0, phase2 = 0;
+  for (const auto& r : ctl.run_cycles(4)) {
+    phase1 += r.phase1_readings;
+    phase2 += r.phase2_readings;
+  }
+
+  const PipelineMetricsSnapshot snap = metrics->snapshot();
+  EXPECT_EQ(snap.phase1_readings, phase1);
+  EXPECT_EQ(snap.phase2_readings, phase2);
+  EXPECT_EQ(snap.readings_total(), phase1 + phase2);
+  EXPECT_EQ(snap.cycles, 4u);
+  ASSERT_EQ(snap.per_cycle.size(), 4u);
+
+  // The acceptance criterion: every sink saw every reading — per-sink
+  // delivered + dropped sums to phase1_readings + phase2_readings.
+  ASSERT_EQ(snap.sinks.size(), 4u);  // assessor, history, app, metrics
+  for (const auto& sink : snap.sinks) {
+    SCOPED_TRACE(sink.name);
+    EXPECT_EQ(sink.delivered + sink.dropped, snap.readings_total());
+    EXPECT_EQ(sink.dropped, 0u);
+  }
+  EXPECT_EQ(app_readings, snap.readings_total());
+  EXPECT_EQ(ctl.pipeline().dispatched_total(), snap.readings_total());
+}
+
+TEST(PipelineMetrics, AggregatesSlotAndSceneStatistics) {
+  PipelineBed bed(12, 1, 91);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(500);
+  TagwatchController ctl(cfg, *bed.client);
+  const auto metrics = attach_metrics(ctl);
+  const auto reports = ctl.run_cycles(3);
+
+  gen2::RoundStats expected;
+  std::uint64_t fallbacks = 0;
+  for (const auto& r : reports) {
+    expected += r.slot_totals;
+    if (r.read_all_fallback) ++fallbacks;
+  }
+  const PipelineMetricsSnapshot snap = metrics->snapshot();
+  EXPECT_EQ(snap.slot_totals.slots, expected.slots);
+  EXPECT_EQ(snap.slot_totals.success_slots, expected.success_slots);
+  EXPECT_EQ(snap.read_all_cycles, fallbacks);
+  EXPECT_GT(snap.mean_scene, 0.0);
+  EXPECT_GT(snap.mean_targets, 0.0);
+  EXPECT_GT(snap.mean_interphase_gap_ms, 0.0);
+}
+
+TEST(PipelineMetrics, SnapshotWithoutObserveHasNoSinkStats) {
+  PipelineMetrics metrics;
+  metrics.on_reading(make_reading(), {0, ReadPhase::kPhase1});
+  const PipelineMetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.phase1_readings, 1u);
+  EXPECT_TRUE(snap.sinks.empty());
+  EXPECT_EQ(snap.cycles, 0u);  // no cycle boundary seen yet
+}
+
+TEST(TagwatchController, SetReadListenerInstallsAndRemovesAppSink) {
+  PipelineBed bed(5, 0, 13);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(200);
+  TagwatchController ctl(cfg, *bed.client);
+  EXPECT_EQ(ctl.pipeline().sink_count(), 2u);  // assessor + history
+  ctl.set_read_listener([](const rf::TagReading&) {});
+  EXPECT_EQ(ctl.pipeline().sink_count(), 3u);
+  EXPECT_NE(ctl.pipeline().find("app"), nullptr);
+  ctl.set_read_listener(nullptr);
+  EXPECT_EQ(ctl.pipeline().find("app"), nullptr);
+  EXPECT_EQ(ctl.pipeline().sink_count(), 2u);
+}
+
+TEST(TagwatchController, CustomSinkReceivesCycleEndNotifications) {
+  PipelineBed bed(6, 0, 17);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(200);
+  TagwatchController ctl(cfg, *bed.client);
+  auto probe = std::make_shared<CountingSink>("probe");
+  ctl.pipeline().add_sink(probe);
+  const auto reports = ctl.run_cycles(2);
+  EXPECT_EQ(probe->cycles_, 2u);
+  EXPECT_EQ(probe->seen_,
+            reports[0].phase1_readings + reports[0].phase2_readings +
+                reports[1].phase1_readings + reports[1].phase2_readings);
+}
+
+}  // namespace
+}  // namespace tagwatch::core

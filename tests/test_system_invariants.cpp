@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/tagwatch.hpp"
+#include "llrp/sim_reader_client.hpp"
 #include "util/circular.hpp"
 
 namespace tagwatch::core {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/tagwatch.hpp"
+#include "llrp/sim_reader_client.hpp"
 #include "util/circular.hpp"
 
 namespace tagwatch::core {
@@ -117,6 +118,91 @@ TEST(TagwatchConfig, EmptyWorldCyclesSafely) {
   EXPECT_EQ(r.phase2_readings, 0u);
   EXPECT_TRUE(r.scene.empty());
   EXPECT_FALSE(r.interphase_gap.has_value());
+}
+
+TEST(TagwatchConfig, Phase2PolicyTooShortClampsToFloor) {
+  // A policy demanding 1 ms must be clamped up to the 100 ms floor.
+  MiniBed bed(8, 71);
+  TagwatchConfig cfg;
+  cfg.mode = ScheduleMode::kReadAll;
+  cfg.phase2_duration = util::sec(5);  // would apply without the policy
+  cfg.phase2_policy = [](std::size_t, std::size_t) { return util::msec(1); };
+  TagwatchController ctl(cfg, *bed.client);
+  const CycleReport r = ctl.run_cycle();
+  EXPECT_GE(r.phase2_duration, util::msec(100));
+  // Well below the configured 5 s — the floor, plus at most a round or two
+  // of overshoot past t_end.
+  EXPECT_LT(r.phase2_duration, util::msec(400));
+}
+
+TEST(TagwatchConfig, Phase2PolicyTooLongClampsToCeiling) {
+  // A policy demanding 10 minutes must be clamped down to the 60 s ceiling.
+  MiniBed bed(4, 72);
+  TagwatchConfig cfg;
+  cfg.mode = ScheduleMode::kReadAll;
+  cfg.phase2_duration = util::msec(200);
+  cfg.phase2_policy = [](std::size_t, std::size_t) { return util::sec(600); };
+  TagwatchController ctl(cfg, *bed.client);
+  const CycleReport r = ctl.run_cycle();
+  EXPECT_GE(r.phase2_duration, util::sec(60));
+  EXPECT_LT(r.phase2_duration, util::sec(61));
+}
+
+TEST(TagwatchConfig, Phase2PolicyInRangePassesThrough) {
+  MiniBed bed(8, 73);
+  TagwatchConfig cfg;
+  cfg.mode = ScheduleMode::kReadAll;
+  cfg.phase2_duration = util::sec(5);
+  std::size_t seen_targets = 0, seen_scene = 0;
+  cfg.phase2_policy = [&](std::size_t targets, std::size_t scene) {
+    seen_targets = targets;
+    seen_scene = scene;
+    return util::msec(250);
+  };
+  TagwatchController ctl(cfg, *bed.client);
+  const CycleReport r = ctl.run_cycle();
+  EXPECT_GE(r.phase2_duration, util::msec(250));
+  EXPECT_LT(r.phase2_duration, util::msec(600));
+  EXPECT_EQ(seen_scene, 8u);      // the policy sees the assessed scene...
+  EXPECT_EQ(seen_targets, 8u);    // ...and the (read-all) target count
+}
+
+TEST(TagwatchConfig, ReadAllCyclesReportConsistentPhase2Counts) {
+  // kReadAll (and fallback) cycles must satisfy the same accounting
+  // invariant as selective ones: the per-tag Phase II counts sum to the
+  // reported phase2_readings.
+  MiniBed bed(12, 74);
+  TagwatchConfig cfg;
+  cfg.mode = ScheduleMode::kReadAll;
+  cfg.phase2_duration = util::msec(500);
+  TagwatchController ctl(cfg, *bed.client);
+  for (const auto& r : ctl.run_cycles(3)) {
+    EXPECT_TRUE(r.read_all_fallback);
+    std::size_t summed = 0;
+    for (const auto& [epc, n] : r.phase2_counts) summed += n;
+    EXPECT_EQ(summed, r.phase2_readings);
+    EXPECT_GT(r.phase2_readings, 0u);
+  }
+}
+
+TEST(TagwatchConfig, FallbackCyclesReportConsistentPhase2Counts) {
+  // Cold-start greedy cycles fall back to read-all; their accounting must
+  // also balance, as must the selective cycles that follow.
+  MiniBed bed(10, 75);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(500);
+  cfg.pinned_targets = {bed.world.tags()[0].epc};
+  TagwatchController ctl(cfg, *bed.client);
+  const auto reports = ctl.run_cycles(5);
+  EXPECT_TRUE(reports.front().read_all_fallback);
+  bool saw_selective = false;
+  for (const auto& r : reports) {
+    std::size_t summed = 0;
+    for (const auto& [epc, n] : r.phase2_counts) summed += n;
+    EXPECT_EQ(summed, r.phase2_readings);
+    saw_selective |= !r.read_all_fallback;
+  }
+  EXPECT_TRUE(saw_selective);
 }
 
 TEST(TagwatchConfig, SessionConfigurationRespected) {

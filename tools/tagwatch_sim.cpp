@@ -24,6 +24,11 @@
 //                                 mobile (raise to 2-3 for large multi-
 //                                 antenna scenes: false votes compound)
 //   k               = 8           mixture components per immobility model
+//   record_journal  = <path>      journal every reader operation to a CSV
+//                                 trace (replayable with replay_journal)
+//   replay_journal  = <path>      replay a recorded trace instead of
+//                                 simulating (world keys are ignored)
+//   pipeline_stats  = false       print per-sink delivery accounting
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -31,6 +36,9 @@
 #include "core/metrics.hpp"
 #include "core/schedule_export.hpp"
 #include "core/tagwatch.hpp"
+#include "llrp/recording_reader_client.hpp"
+#include "llrp/replay_reader_client.hpp"
+#include "llrp/sim_reader_client.hpp"
 #include "util/circular.hpp"
 #include "util/config.hpp"
 #include "util/stats.hpp"
@@ -49,7 +57,18 @@ core::ScheduleMode parse_mode(const std::string& mode) {
 
 }  // namespace
 
+int run(int argc, char** argv);
+
 int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tagwatch_sim: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run(int argc, char** argv) {
   util::KeyValueConfig cfg;
   if (argc > 1) {
     cfg = util::KeyValueConfig::load(argv[1]);
@@ -104,9 +123,28 @@ int main(int argc, char** argv) {
                                     {2, {5, -5, 0}, 8.0},
                                     {3, {-5, 5, 0}, 8.0},
                                     {4, {5, 5, 0}, 8.0}};
-  llrp::SimReaderClient client(
+  llrp::SimReaderClient sim_client(
       gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
       gen2::ReaderConfig{}, world, channel, antennas, seed + 1);
+
+  // Transport selection: simulate, simulate-and-record, or replay a trace.
+  // The controller only ever sees the abstract interface.
+  const std::string record_path = cfg.get_or("record_journal", "");
+  const std::string replay_path = cfg.get_or("replay_journal", "");
+  std::unique_ptr<llrp::RecordingReaderClient> recorder;
+  std::unique_ptr<llrp::ReplayReaderClient> replayer;
+  llrp::ReaderClient* client = &sim_client;
+  if (!replay_path.empty()) {
+    replayer = std::make_unique<llrp::ReplayReaderClient>(
+        llrp::ReaderJournal::load(replay_path));
+    client = replayer.get();
+    std::printf("replaying journal: %s (%zu operations, backend %s)\n",
+                replay_path.c_str(), replayer->remaining(),
+                replayer->capabilities().model.c_str());
+  } else if (!record_path.empty()) {
+    recorder = std::make_unique<llrp::RecordingReaderClient>(sim_client);
+    client = recorder.get();
+  }
 
   // ---------------------------------------------------------- tagwatch
   core::TagwatchConfig twcfg;
@@ -117,11 +155,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cfg.get_int_or("votes", 1));
   twcfg.assessor.detector.phase_mog.max_components =
       static_cast<std::size_t>(cfg.get_int_or("k", 8));
-  core::TagwatchController ctl(twcfg, client);
+  core::TagwatchController ctl(twcfg, *client);
 
   core::IrrMonitor monitor(twcfg.phase2_duration);
   ctl.set_read_listener(
       [&monitor](const rf::TagReading& r) { monitor.record(r); });
+  const std::shared_ptr<core::PipelineMetrics> metrics =
+      core::attach_metrics(ctl);
 
   std::printf("\n%5s  %-10s  %7s  %7s  %9s  %12s  %10s\n", "cycle", "mode",
               "scene", "targets", "bitmasks", "phase2 reads", "gap (ms)");
@@ -140,7 +180,7 @@ int main(int argc, char** argv) {
   }
 
   // --------------------------------------------------------- reporting
-  const util::SimTime now = client.now();
+  const util::SimTime now = client->now();
   std::printf("\ntop per-tag IRRs over the last %2.0f s window:\n",
               util::to_seconds(monitor.window()));
   std::printf("%-26s  %8s  %s\n", "EPC", "IRR(Hz)", "role");
@@ -153,10 +193,35 @@ int main(int argc, char** argv) {
                 irr, mover ? "mobile" : "static");
   }
 
+  if (cfg.get_bool_or("pipeline_stats", false)) {
+    const core::PipelineMetricsSnapshot snap = metrics->snapshot();
+    std::printf("\npipeline: %llu readings over %llu cycles "
+                "(%llu read-all), %zu slots (%zu empty, %zu collided)\n",
+                static_cast<unsigned long long>(snap.readings_total()),
+                static_cast<unsigned long long>(snap.cycles),
+                static_cast<unsigned long long>(snap.read_all_cycles),
+                snap.slot_totals.slots, snap.slot_totals.empty_slots,
+                snap.slot_totals.collision_slots);
+    std::printf("%-10s  %10s  %8s  %12s\n", "sink", "delivered", "dropped",
+                "mean us/read");
+    for (const auto& sink : snap.sinks) {
+      std::printf("%-10s  %10llu  %8llu  %12.3f\n", sink.name.c_str(),
+                  static_cast<unsigned long long>(sink.delivered),
+                  static_cast<unsigned long long>(sink.dropped),
+                  sink.mean_dispatch_us());
+    }
+  }
+
   if (cfg.get_bool_or("export_schedule", false) &&
       !last_report.schedule.selections.empty()) {
     std::printf("\nlast Phase II schedule as ROSpec XML:\n%s",
                 core::schedule_to_xml(last_report.schedule).c_str());
+  }
+
+  if (recorder != nullptr) {
+    recorder->journal().save(record_path);
+    std::printf("\nrecorded %zu reader operations to %s\n",
+                recorder->journal().size(), record_path.c_str());
   }
   return 0;
 }
