@@ -99,7 +99,12 @@ void PipelineMetrics::on_cycle_end(const CycleReport& report) {
   current_.scene = report.scene.size();
   current_.targets = report.targets.size();
   current_.read_all_fallback = report.read_all_fallback;
+  current_.degraded_mode = report.degraded_mode;
+  current_.execute_failures = report.execute_failures;
+  current_.retries = report.retries;
   if (report.read_all_fallback) ++read_all_cycles_;
+  if (report.degraded_mode) ++degraded_cycles_;
+  health_ = report.health;
   slot_totals_ += report.slot_totals;
   scene_sum_ += static_cast<double>(report.scene.size());
   target_sum_ += static_cast<double>(report.targets.size());
@@ -115,6 +120,8 @@ PipelineMetricsSnapshot PipelineMetrics::snapshot() const {
   PipelineMetricsSnapshot snap;
   snap.cycles = per_cycle_.size();
   snap.read_all_cycles = read_all_cycles_;
+  snap.degraded_cycles = degraded_cycles_;
+  snap.health = health_;
   snap.phase1_readings = phase1_readings_;
   snap.phase2_readings = phase2_readings_;
   snap.slot_totals = slot_totals_;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "core/resilience.hpp"
 #include "gen2/reader.hpp"
 #include "rf/measurement.hpp"
 #include "util/epc.hpp"
@@ -62,14 +63,21 @@ struct CycleMetrics {
   std::size_t scene = 0;
   std::size_t targets = 0;
   bool read_all_fallback = false;
+  bool degraded_mode = false;          ///< Ran in the degraded read-all state.
+  std::uint64_t execute_failures = 0;  ///< Errored executes this cycle.
+  std::uint64_t retries = 0;           ///< Re-issued executes this cycle.
 };
 
 /// Aggregate view returned by PipelineMetrics::snapshot().
 struct PipelineMetricsSnapshot {
   std::uint64_t cycles = 0;
   std::uint64_t read_all_cycles = 0;
+  std::uint64_t degraded_cycles = 0;
   std::uint64_t phase1_readings = 0;
   std::uint64_t phase2_readings = 0;
+  /// Cumulative controller health (faults, retries, backoff, degraded-mode
+  /// transitions) as of the last finished cycle.
+  HealthMetrics health;
   /// Gen2 slot accounting summed over every cycle's ExecutionReports.
   gen2::RoundStats slot_totals;
   double mean_scene = 0.0;
@@ -111,6 +119,8 @@ class PipelineMetrics final : public ReadingSink {
   std::uint64_t phase1_readings_ = 0;
   std::uint64_t phase2_readings_ = 0;
   std::uint64_t read_all_cycles_ = 0;
+  std::uint64_t degraded_cycles_ = 0;
+  HealthMetrics health_;
   gen2::RoundStats slot_totals_;
   double scene_sum_ = 0.0;
   double target_sum_ = 0.0;

@@ -54,7 +54,14 @@ void ReadingPipeline::dispatch(const rf::TagReading& reading,
   ++dispatched_;
   for (Entry& entry : entries_) {
     const auto t0 = std::chrono::steady_clock::now();
-    const bool accepted = entry.sink->on_reading(reading, context);
+    bool accepted = false;
+    try {
+      accepted = entry.sink->on_reading(reading, context);
+    } catch (const std::exception&) {
+      // A misbehaving sink loses its own reading, never anyone else's:
+      // delivery continues to the remaining sinks and the cycle survives.
+      ++entry.stats.exceptions;
+    }
     const auto t1 = std::chrono::steady_clock::now();
     entry.stats.dispatch_seconds +=
         std::chrono::duration<double>(t1 - t0).count();
@@ -67,7 +74,13 @@ void ReadingPipeline::dispatch(const rf::TagReading& reading,
 }
 
 void ReadingPipeline::end_cycle(const CycleReport& report) {
-  for (Entry& entry : entries_) entry.sink->on_cycle_end(report);
+  for (Entry& entry : entries_) {
+    try {
+      entry.sink->on_cycle_end(report);
+    } catch (const std::exception&) {
+      ++entry.stats.exceptions;  // Same isolation as dispatch().
+    }
+  }
 }
 
 std::vector<SinkStats> ReadingPipeline::stats() const {

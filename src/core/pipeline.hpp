@@ -57,7 +57,11 @@ class ReadingSink {
 struct SinkStats {
   std::string name;
   std::uint64_t delivered = 0;  ///< Readings the sink accepted.
-  std::uint64_t dropped = 0;    ///< Readings the sink declined.
+  std::uint64_t dropped = 0;    ///< Readings the sink declined or threw on.
+  /// Calls on which the sink threw — on_reading throws (each also counted
+  /// in `dropped`) plus on_cycle_end throws.  A throwing sink is isolated:
+  /// delivery continues to the remaining sinks and the cycle never crashes.
+  std::uint64_t exceptions = 0;
   double dispatch_seconds = 0;  ///< Host wall time spent inside the sink.
 
   /// Mean per-reading dispatch cost in microseconds (0 when idle).

@@ -22,14 +22,17 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "core/assessor.hpp"
 #include "core/history.hpp"
 #include "core/pipeline.hpp"
+#include "core/resilience.hpp"
 #include "core/setcover.hpp"
 #include "llrp/reader_client.hpp"
+#include "util/rng.hpp"
 
 namespace tagwatch::core {
 
@@ -74,6 +77,9 @@ struct TagwatchConfig {
   /// Account the real scheduling compute time on the simulation clock so
   /// the inter-phase gap (Fig. 17) includes it.
   bool charge_compute_time = true;
+  /// How the controller survives a faulty transport: retry/backoff policy,
+  /// degraded read-all fallback, per-cycle watchdog budget.
+  ResilienceConfig resilience;
 };
 
 /// What happened in one cycle.
@@ -105,6 +111,22 @@ struct CycleReport {
   /// Gen2 slot accounting summed over every ROSpec the cycle executed
   /// (both phases) — the raw material for efficiency telemetry.
   gen2::RoundStats slot_totals;
+
+  // ----------------------------------------------- resilience telemetry
+  /// True when the cycle ran in the degraded read-all state (entered after
+  /// K consecutive Phase-II failures; distinct from read_all_fallback,
+  /// which selective cycles can also set for scheduling reasons).
+  bool degraded_mode = false;
+  /// True when the per-cycle watchdog budget cut Phase II short.
+  bool watchdog_tripped = false;
+  std::size_t execute_failures = 0;  ///< Errored execute attempts.
+  std::size_t retries = 0;           ///< Re-issued executes.
+  std::size_t salvaged_readings = 0; ///< Readings kept from failures.
+  util::SimDuration backoff_time{0}; ///< Reader time spent backing off.
+  /// Antenna indexes quarantined out of ROSpec construction (cumulative).
+  std::vector<std::size_t> quarantined_antennas;
+  /// Cumulative controller health counters at cycle end.
+  HealthMetrics health;
 };
 
 class PipelineMetrics;  // core/metrics.hpp
@@ -139,12 +161,40 @@ class TagwatchController {
   llrp::ReaderClient& client() noexcept { return *client_; }
   util::SimTime now() const noexcept { return client_->now(); }
 
+  /// Cumulative resilience counters (faults, retries, backoff, degraded
+  /// transitions) since construction.
+  const HealthMetrics& health() const noexcept { return health_; }
+  /// True while the controller runs the read-all baseline because of
+  /// transport failures.
+  bool degraded() const noexcept { return degraded_; }
+  /// Antenna indexes excluded from ROSpec construction after kAntennaLost.
+  const std::set<std::size_t>& quarantined_antennas() const noexcept {
+    return quarantined_;
+  }
+
  private:
   void deliver(const rf::TagReading& reading, CycleReport& report,
                ReadPhase phase);
   llrp::ROSpec make_read_all_rospec(util::SimDuration duration) const;
   void run_phase2_selected(const Schedule& schedule, util::SimTime t_end,
-                           CycleReport& report);
+                           util::SimTime watchdog_deadline,
+                           CycleReport& report, bool& phase2_failed);
+  /// Executes `spec` under the retry policy: errored attempts salvage
+  /// their partial readings, charge jittered exponential backoff onto the
+  /// reader clock, quarantine lost antennas (re-issuing the spec without
+  /// them), and stop at the watchdog deadline.  `gave_up` reports whether
+  /// the spec was ultimately abandoned.
+  llrp::ExecutionResult execute_resilient(llrp::ROSpec spec,
+                                          util::SimTime watchdog_deadline,
+                                          CycleReport& report, bool& gave_up);
+  /// Antenna indexes not quarantined, in order.
+  std::vector<std::size_t> healthy_antennas() const;
+  /// Removes quarantined antennas from every AISpec (expanding empty
+  /// "all antennas" lists first).  Returns false when nothing healthy
+  /// remains to drive.
+  bool strip_quarantined(llrp::ROSpec& spec) const;
+  /// Feeds the Phase-II outcome to the degradation state machine.
+  void update_degradation(bool phase2_failed);
 
   TagwatchConfig config_;
   llrp::ReaderClient* client_;
@@ -154,6 +204,14 @@ class TagwatchController {
   std::size_t cycle_counter_ = 0;
   /// Timestamp of the first Phase II reading of the running cycle.
   std::optional<util::SimTime> first_read_;
+
+  // ------------------------------------------------- resilience state
+  HealthMetrics health_;
+  util::Rng jitter_rng_;
+  std::set<std::size_t> quarantined_;
+  bool degraded_ = false;
+  std::size_t consecutive_phase2_failures_ = 0;
+  std::size_t healthy_streak_ = 0;
 };
 
 /// Attaches a PipelineMetrics sink to the controller's pipeline (bound to

@@ -1,0 +1,197 @@
+#include "llrp/fault_injection.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/circular.hpp"
+
+namespace tagwatch::llrp {
+
+FaultInjectingReaderClient::FaultInjectingReaderClient(ReaderClient& inner,
+                                                       FaultPlan plan)
+    : inner_(&inner), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+ReaderCapabilities FaultInjectingReaderClient::capabilities() const {
+  ReaderCapabilities caps = inner_->capabilities();
+  caps.model = "faulty(" + caps.model + ")";
+  return caps;
+}
+
+bool FaultInjectingReaderClient::targets_lost_antenna(
+    const ROSpec& spec) const {
+  if (lost_antennas_.empty()) return false;
+  for (const AISpec& ai : spec.ai_specs) {
+    // An empty antenna list means "all antennas", which includes the dead
+    // ones — the operation fails until the caller names healthy ports.
+    if (ai.antenna_indexes.empty()) return true;
+    for (const std::size_t a : ai.antenna_indexes) {
+      if (lost_antennas_.contains(a)) return true;
+    }
+  }
+  return false;
+}
+
+std::optional<ScriptedFault> FaultInjectingReaderClient::fault_for(
+    std::size_t index, const ROSpec& spec) {
+  // A fresh disconnect (scripted or probabilistic) opens an episode of
+  // episode_length consecutive failures; the continuation branch below
+  // consumes it without re-arming, so the episode actually ends.
+  const auto arm_episode = [this] {
+    if (plan_.disconnect_episode_length > 1) {
+      disconnect_remaining_ = plan_.disconnect_episode_length - 1;
+    }
+  };
+  for (const ScriptedFault& f : plan_.scripted) {
+    if (f.execute_index == index) {
+      if (f.kind == ReaderErrorKind::kDisconnected) arm_episode();
+      return f;
+    }
+  }
+  if (disconnect_remaining_ > 0) {
+    --disconnect_remaining_;
+    ScriptedFault f;
+    f.execute_index = index;
+    f.kind = ReaderErrorKind::kDisconnected;
+    return f;
+  }
+  if (targets_lost_antenna(spec)) {
+    ScriptedFault f;
+    f.execute_index = index;
+    f.kind = ReaderErrorKind::kAntennaLost;
+    f.antenna = *lost_antennas_.begin();
+    // Find the first lost antenna the spec actually drives, for the error.
+    for (const AISpec& ai : spec.ai_specs) {
+      for (const std::size_t a : ai.antenna_indexes) {
+        if (lost_antennas_.contains(a)) {
+          f.antenna = a;
+          return f;
+        }
+      }
+    }
+    return f;
+  }
+  if (plan_.execute_failure_probability > 0.0 &&
+      rng_.chance(plan_.execute_failure_probability)) {
+    const double total = plan_.weight_timeout + plan_.weight_disconnect +
+                         plan_.weight_protocol_error +
+                         plan_.weight_partial_report;
+    ScriptedFault f;
+    f.execute_index = index;
+    f.kind = ReaderErrorKind::kTimeout;
+    if (total > 0.0) {
+      double draw = rng_.uniform(0.0, total);
+      if ((draw -= plan_.weight_timeout) < 0.0) {
+        f.kind = ReaderErrorKind::kTimeout;
+      } else if ((draw -= plan_.weight_disconnect) < 0.0) {
+        f.kind = ReaderErrorKind::kDisconnected;
+      } else if ((draw -= plan_.weight_protocol_error) < 0.0) {
+        f.kind = ReaderErrorKind::kProtocolError;
+      } else {
+        f.kind = ReaderErrorKind::kPartialReport;
+      }
+    }
+    if (f.kind == ReaderErrorKind::kDisconnected) arm_episode();
+    return f;
+  }
+  return std::nullopt;
+}
+
+ExecutionResult FaultInjectingReaderClient::run_inner_mangled(
+    const ROSpec& spec) {
+  ExecutionResult result = inner_->execute(spec);
+  if (plan_.reading_drop_rate <= 0.0 && plan_.reading_duplicate_rate <= 0.0 &&
+      plan_.phase_corruption_rate <= 0.0) {
+    return result;
+  }
+  std::vector<rf::TagReading> mangled;
+  mangled.reserve(result.report.readings.size());
+  for (rf::TagReading r : result.report.readings) {
+    if (plan_.reading_drop_rate > 0.0 && rng_.chance(plan_.reading_drop_rate)) {
+      ++stats_.dropped_readings;
+      continue;
+    }
+    if (plan_.phase_corruption_rate > 0.0 &&
+        rng_.chance(plan_.phase_corruption_rate)) {
+      double phase =
+          r.phase_rad + rng_.normal(0.0, plan_.phase_corruption_stddev_rad);
+      phase = std::fmod(phase, util::kTwoPi);
+      if (phase < 0.0) phase += util::kTwoPi;
+      r.phase_rad = phase;
+      ++stats_.corrupted_readings;
+    }
+    mangled.push_back(r);
+    if (plan_.reading_duplicate_rate > 0.0 &&
+        rng_.chance(plan_.reading_duplicate_rate)) {
+      mangled.push_back(r);
+      ++stats_.duplicated_readings;
+    }
+  }
+  result.report.readings = std::move(mangled);
+  return result;
+}
+
+ExecutionResult FaultInjectingReaderClient::execute(const ROSpec& spec) {
+  const std::size_t index = stats_.executes++;
+  const std::optional<ScriptedFault> fault = fault_for(index, spec);
+
+  ExecutionResult result;
+  if (!fault) {
+    result = run_inner_mangled(spec);
+  } else {
+    switch (fault->kind) {
+      case ReaderErrorKind::kDisconnected: {
+        // The session dropped before the operation ran: nothing was read,
+        // and re-establishing the connection costs reader time.
+        ++stats_.injected_disconnects;
+        inner_->advance(plan_.reconnect_latency);
+        result.report.duration = plan_.reconnect_latency;
+        result.error = ReaderError{
+            ReaderErrorKind::kDisconnected, 0,
+            "injected disconnect (execute #" + std::to_string(index) + ")"};
+        break;
+      }
+      case ReaderErrorKind::kAntennaLost: {
+        // The port is dead from this execute on; the operation fails fast
+        // until the caller stops driving the lost antenna.
+        ++stats_.injected_antenna_losses;
+        lost_antennas_.insert(fault->antenna);
+        result.error = ReaderError{
+            ReaderErrorKind::kAntennaLost, fault->antenna,
+            "injected antenna loss: port index " +
+                std::to_string(fault->antenna) + " (execute #" +
+                std::to_string(index) + ")"};
+        break;
+      }
+      case ReaderErrorKind::kTimeout:
+      case ReaderErrorKind::kProtocolError:
+      case ReaderErrorKind::kPartialReport: {
+        // The inventory ran (time passed, slots were spent) but reporting
+        // broke down; a fraction of the readings survives as the partial.
+        if (fault->kind == ReaderErrorKind::kTimeout) {
+          ++stats_.injected_timeouts;
+        } else if (fault->kind == ReaderErrorKind::kProtocolError) {
+          ++stats_.injected_protocol_errors;
+        } else {
+          ++stats_.injected_partial_reports;
+        }
+        result = run_inner_mangled(spec);
+        const std::size_t keep = static_cast<std::size_t>(
+            static_cast<double>(result.report.readings.size()) *
+            plan_.failure_keep_fraction);
+        result.report.readings.resize(keep);
+        result.error =
+            ReaderError{fault->kind, 0,
+                        std::string("injected ") + to_string(fault->kind) +
+                            " (execute #" + std::to_string(index) + ")"};
+        break;
+      }
+    }
+  }
+
+  if (listener_) {
+    for (const rf::TagReading& r : result.report.readings) listener_(r);
+  }
+  return result;
+}
+
+}  // namespace tagwatch::llrp

@@ -1,0 +1,128 @@
+// FaultInjectingReaderClient: a ReaderClient decorator that injects the
+// failure modes real LLRP readers exhibit — timeouts, disconnects with
+// reconnect latency, protocol errors, lost report batches, dead antenna
+// ports — plus per-reading corruption (drops, duplicates, phase noise).
+//
+// Every decision comes from one seeded RNG plus an explicit scripted
+// schedule, so a faulty run is deterministic: wrap the injector with a
+// RecordingReaderClient and the journal (errors included) replays the run
+// bit-exactly.  This is the test harness for TagwatchController's retry,
+// degraded-mode, and antenna-quarantine machinery.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "llrp/reader_client.hpp"
+#include "util/rng.hpp"
+
+namespace tagwatch::llrp {
+
+/// One pre-scheduled fault: "fail execute #k with this error".  Scripted
+/// faults take precedence over the probabilistic ones and make assertions
+/// about exact HealthMetrics counts possible.
+struct ScriptedFault {
+  std::size_t execute_index = 0;  ///< 0-based index of the execute() call.
+  ReaderErrorKind kind = ReaderErrorKind::kTimeout;
+  std::size_t antenna = 0;  ///< kAntennaLost: which antenna port dies.
+};
+
+/// Seeded, config-driven fault schedule.
+struct FaultPlan {
+  std::uint64_t seed = 0xfa171;
+
+  // ------------------------------------------------ execute-level faults
+  /// Probability that any given execute() fails (scripted faults fire
+  /// regardless).
+  double execute_failure_probability = 0.0;
+  /// Relative weights for picking the kind of a probabilistic failure.
+  double weight_timeout = 1.0;
+  double weight_disconnect = 0.0;
+  double weight_protocol_error = 0.0;
+  double weight_partial_report = 0.0;
+  /// Deterministic "fail spec #k" triggers.
+  std::vector<ScriptedFault> scripted;
+  /// Fraction of the inner readings surviving a Timeout / ProtocolError /
+  /// PartialReport failure (the salvageable partial report).
+  double failure_keep_fraction = 0.5;
+  /// Reader time charged (via the inner advance()) to re-establish the
+  /// session after a Disconnected failure.
+  util::SimDuration reconnect_latency = util::msec(50);
+  /// Consecutive executes that fail once a disconnect episode starts (the
+  /// first one included) — models an outage longer than one operation.
+  std::size_t disconnect_episode_length = 1;
+
+  // ------------------------------------------------ per-reading mangling
+  double reading_drop_rate = 0.0;       ///< Reading silently lost.
+  double reading_duplicate_rate = 0.0;  ///< Reading delivered twice.
+  double phase_corruption_rate = 0.0;   ///< Reading's phase gets noise.
+  double phase_corruption_stddev_rad = 0.5;
+};
+
+/// What the injector actually did — the ground truth tests compare
+/// HealthMetrics against.
+struct InjectionStats {
+  std::uint64_t executes = 0;  ///< Total execute() calls seen.
+  std::uint64_t injected_timeouts = 0;
+  std::uint64_t injected_disconnects = 0;
+  std::uint64_t injected_protocol_errors = 0;
+  std::uint64_t injected_partial_reports = 0;
+  std::uint64_t injected_antenna_losses = 0;
+  std::uint64_t dropped_readings = 0;
+  std::uint64_t duplicated_readings = 0;
+  std::uint64_t corrupted_readings = 0;
+
+  std::uint64_t injected_faults_total() const {
+    return injected_timeouts + injected_disconnects +
+           injected_protocol_errors + injected_partial_reports +
+           injected_antenna_losses;
+  }
+};
+
+/// Decorator injecting transport faults between a controller and any
+/// inner backend (typically SimReaderClient).
+class FaultInjectingReaderClient final : public ReaderClient {
+ public:
+  /// `inner` must outlive the injector.
+  FaultInjectingReaderClient(ReaderClient& inner, FaultPlan plan);
+
+  ExecutionResult execute(const ROSpec& spec) override;
+  util::SimTime now() const override { return inner_->now(); }
+  void set_read_listener(gen2::ReadCallback listener) override {
+    listener_ = std::move(listener);
+  }
+  /// Capabilities pass through unmodified: the controller discovers lost
+  /// antennas from kAntennaLost errors, not from the capability query —
+  /// exactly as on hardware, where GET_READER_CAPABILITIES still lists a
+  /// port whose cable was pulled.
+  ReaderCapabilities capabilities() const override;
+  void advance(util::SimDuration d) override { inner_->advance(d); }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  const InjectionStats& stats() const noexcept { return stats_; }
+  /// Antenna indexes killed by kAntennaLost faults so far.
+  const std::set<std::size_t>& lost_antennas() const noexcept {
+    return lost_antennas_;
+  }
+
+ private:
+  /// The fault (if any) governing the execute with this index.
+  std::optional<ScriptedFault> fault_for(std::size_t index,
+                                         const ROSpec& spec);
+  /// Runs the inner execute, buffering its stream, and applies per-reading
+  /// drop/duplicate/phase-corruption.  Does NOT stream to the listener.
+  ExecutionResult run_inner_mangled(const ROSpec& spec);
+  /// Whether the spec drives any antenna that has been lost (an empty
+  /// antenna list means "all antennas", so any loss poisons it).
+  bool targets_lost_antenna(const ROSpec& spec) const;
+
+  ReaderClient* inner_;
+  FaultPlan plan_;
+  util::Rng rng_;
+  gen2::ReadCallback listener_;
+  InjectionStats stats_;
+  std::size_t disconnect_remaining_ = 0;
+  std::set<std::size_t> lost_antennas_;
+};
+
+}  // namespace tagwatch::llrp

@@ -1,0 +1,33 @@
+#include "llrp/reader_client.hpp"
+
+#include <stdexcept>
+
+namespace tagwatch::llrp {
+
+const char* to_string(ReaderErrorKind kind) {
+  switch (kind) {
+    case ReaderErrorKind::kTimeout:
+      return "timeout";
+    case ReaderErrorKind::kDisconnected:
+      return "disconnected";
+    case ReaderErrorKind::kProtocolError:
+      return "protocol-error";
+    case ReaderErrorKind::kPartialReport:
+      return "partial-report";
+    case ReaderErrorKind::kAntennaLost:
+      return "antenna-lost";
+  }
+  return "unknown";
+}
+
+ReaderErrorKind reader_error_kind_from_string(std::string_view name) {
+  if (name == "timeout") return ReaderErrorKind::kTimeout;
+  if (name == "disconnected") return ReaderErrorKind::kDisconnected;
+  if (name == "protocol-error") return ReaderErrorKind::kProtocolError;
+  if (name == "partial-report") return ReaderErrorKind::kPartialReport;
+  if (name == "antenna-lost") return ReaderErrorKind::kAntennaLost;
+  throw std::invalid_argument("unknown ReaderErrorKind name: " +
+                              std::string(name));
+}
+
+}  // namespace tagwatch::llrp

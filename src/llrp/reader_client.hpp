@@ -15,6 +15,7 @@
 // A future LTK-backed client for physical readers slots in the same way.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,44 @@ struct ExecutionReport {
   std::size_t rounds = 0;
   util::SimDuration duration{0};
   gen2::RoundStats slot_totals;  ///< Summed over all rounds.
+};
+
+/// How an execute() can fail — the failure modes a COTS LLRP reader
+/// actually exhibits (and that FaultInjectingReaderClient reproduces).
+enum class ReaderErrorKind {
+  kTimeout,        ///< The reader stopped responding; time elapsed anyway.
+  kDisconnected,   ///< TCP session dropped mid-operation; needs reconnect.
+  kProtocolError,  ///< Malformed/unexpected LLRP message from the reader.
+  kPartialReport,  ///< Some TagReportData batches were lost in transit.
+  kAntennaLost,    ///< An antenna port stopped driving (cable/port fault).
+};
+
+/// Stable lower-case name ("timeout", "disconnected", ...) for logs and
+/// journal persistence.
+const char* to_string(ReaderErrorKind kind);
+
+/// Parses a name produced by to_string.  Throws std::invalid_argument on
+/// anything else.
+ReaderErrorKind reader_error_kind_from_string(std::string_view name);
+
+/// One transport failure, attached to the execute() that suffered it.
+struct ReaderError {
+  ReaderErrorKind kind = ReaderErrorKind::kTimeout;
+  /// kAntennaLost: index (into the reader's antenna list) of the dead port.
+  std::size_t antenna = 0;
+  /// Human-readable detail for logs.
+  std::string message;
+};
+
+/// What one execute() produced: the report, plus the error that cut it
+/// short (if any).  On error the report still carries everything salvaged
+/// before the failure — partial readings, rounds run, time elapsed — so
+/// callers can use what arrived and charge the time that passed.
+struct ExecutionResult {
+  ExecutionReport report;
+  std::optional<ReaderError> error;
+
+  bool ok() const noexcept { return !error.has_value(); }
 };
 
 /// What a reader backend can do — the LLRP GET_READER_CAPABILITIES subset
@@ -57,8 +96,10 @@ class ReaderClient {
   ReaderClient& operator=(const ReaderClient&) = delete;
   virtual ~ReaderClient() = default;
 
-  /// Runs the ROSpec to completion and returns everything it read.
-  virtual ExecutionReport execute(const ROSpec& spec) = 0;
+  /// Runs the ROSpec and returns everything it read.  A failing transport
+  /// reports the error in the result (never by throwing) together with any
+  /// partial readings and the time that elapsed before the failure.
+  virtual ExecutionResult execute(const ROSpec& spec) = 0;
 
   /// Current reader-clock time.
   virtual util::SimTime now() const = 0;

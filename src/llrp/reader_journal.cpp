@@ -84,13 +84,22 @@ std::uint64_t rospec_digest(const ROSpec& spec) {
   return h;
 }
 
+namespace {
+
+/// CSV fields never contain ',' or '\n'; free-form text is flattened.
+std::string sanitize_field(std::string s) {
+  for (char& c : s) {
+    if (c == ',' || c == '\n' || c == '\r') c = ';';
+  }
+  return s;
+}
+
+}  // namespace
+
 std::string ReaderJournal::to_csv() const {
   std::ostringstream out;
   out << kHeader << '\n';
-  std::string model = capabilities.model;
-  for (char& c : model) {
-    if (c == ',' || c == '\n') c = ';';
-  }
+  const std::string model = sanitize_field(capabilities.model);
   out << "C," << model << ',' << capabilities.antenna_count << ','
       << capabilities.channel_count << ','
       << (capabilities.supports_truncation ? 1 : 0) << ','
@@ -109,6 +118,11 @@ std::string ReaderJournal::to_csv() const {
         << st.slots << ',' << st.empty_slots << ',' << st.collision_slots
         << ',' << st.success_slots << ',' << st.lost_slots << ','
         << st.duration.count() << ',' << e.report.readings.size() << '\n';
+    if (e.error) {
+      // Error record, attached to the execute above it.
+      out << "X," << to_string(e.error->kind) << ',' << e.error->antenna
+          << ',' << sanitize_field(e.error->message) << '\n';
+    }
     for (const rf::TagReading& r : e.report.readings) {
       out << "R," << r.epc.to_binary() << ','
           << static_cast<unsigned>(r.antenna) << ',' << r.channel << ','
@@ -169,6 +183,24 @@ ReaderJournal ReaderJournal::from_csv(std::string_view csv) {
       pending_readings = static_cast<std::size_t>(parse_int(f[11], line_no));
       e.report.readings.reserve(pending_readings);
       journal.push(std::move(e));
+    } else if (f[0] == "X") {
+      if (journal.entries_.empty() ||
+          journal.entries_.back().kind != JournalEntry::Kind::kExecute) {
+        fail(line_no, "error record without a preceding execute");
+      }
+      if (journal.entries_.back().error) {
+        fail(line_no, "duplicate error record for one execute");
+      }
+      if (f.size() != 4) fail(line_no, "error line needs 4 fields");
+      ReaderError err;
+      try {
+        err.kind = reader_error_kind_from_string(f[1]);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+      err.antenna = static_cast<std::size_t>(parse_int(f[2], line_no));
+      err.message = f[3];
+      journal.entries_.back().error = std::move(err);
     } else if (f[0] == "R") {
       if (pending_readings == 0) fail(line_no, "unexpected reading line");
       if (f.size() != 7) fail(line_no, "reading line needs 7 fields");

@@ -33,9 +33,15 @@ struct JournalEntry {
   std::uint64_t digest = 0;    ///< rospec_digest of the executed spec.
   util::SimTime start{0};      ///< Reader clock when the call began.
   ExecutionReport report;      ///< Everything the call returned.
+  /// Transport failure the call reported, if any (faulty runs journal
+  /// their errors so replay reproduces them bit-exactly).
+  std::optional<ReaderError> error;
 
   // kAdvance field.
   util::SimDuration advance{0};
+
+  /// The execute()'s report + error reassembled as the client returned it.
+  ExecutionResult result() const { return ExecutionResult{report, error}; }
 };
 
 /// In-memory journal of one reader-client run, with CSV persistence.

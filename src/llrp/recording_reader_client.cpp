@@ -12,15 +12,16 @@ RecordingReaderClient::RecordingReaderClient(ReaderClient& inner)
   journal_.capabilities = inner_->capabilities();
 }
 
-ExecutionReport RecordingReaderClient::execute(const ROSpec& spec) {
+ExecutionResult RecordingReaderClient::execute(const ROSpec& spec) {
   JournalEntry entry;
   entry.kind = JournalEntry::Kind::kExecute;
   entry.digest = rospec_digest(spec);
   entry.start = inner_->now();
-  entry.report = inner_->execute(spec);
-  const ExecutionReport report = entry.report;
+  ExecutionResult result = inner_->execute(spec);
+  entry.report = result.report;
+  entry.error = result.error;
   journal_.push(std::move(entry));
-  return report;
+  return result;
 }
 
 ReaderCapabilities RecordingReaderClient::capabilities() const {

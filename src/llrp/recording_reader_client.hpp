@@ -21,7 +21,9 @@ class RecordingReaderClient final : public ReaderClient {
   /// recorder's listener in slot order, exactly as `inner` produces them.
   explicit RecordingReaderClient(ReaderClient& inner);
 
-  ExecutionReport execute(const ROSpec& spec) override;
+  /// Journals the full result — including any transport error — so a
+  /// faulty run replays bit-exactly, failures and all.
+  ExecutionResult execute(const ROSpec& spec) override;
   util::SimTime now() const override { return inner_->now(); }
   void set_read_listener(gen2::ReadCallback listener) override {
     listener_ = std::move(listener);

@@ -1,5 +1,6 @@
 #include "llrp/replay_reader_client.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -39,7 +40,7 @@ const JournalEntry& ReplayReaderClient::take(JournalEntry::Kind expected) {
   return entry;
 }
 
-ExecutionReport ReplayReaderClient::execute(const ROSpec& spec) {
+ExecutionResult ReplayReaderClient::execute(const ROSpec& spec) {
   // Non-strict replay tolerates interleaved advances it didn't expect by
   // skipping to the next recorded execute.
   if (!strict_) {
@@ -49,21 +50,28 @@ ExecutionReport ReplayReaderClient::execute(const ROSpec& spec) {
       ++cursor_;
     }
   }
+  const std::size_t rospec_index = execute_count_++;
   const JournalEntry& entry = take(JournalEntry::Kind::kExecute);
   if (strict_) {
     const std::uint64_t digest = rospec_digest(spec);
     if (digest != entry.digest) {
+      char digests[64];
+      std::snprintf(digests, sizeof(digests),
+                    "issued %016llx, recorded %016llx",
+                    static_cast<unsigned long long>(digest),
+                    static_cast<unsigned long long>(entry.digest));
       diverged(cursor_ - 1,
-               "ROSpec diverges from the recorded operation (digest "
-               "mismatch) — the controller under replay is making "
-               "different scheduling decisions than the recorded one");
+               "ROSpec #" + std::to_string(rospec_index) +
+                   " diverges from the recorded operation (" + digests +
+                   ") — the controller under replay is making different "
+                   "scheduling decisions than the recorded one");
     }
   }
   now_ = entry.start + entry.report.duration;
   if (listener_) {
     for (const rf::TagReading& r : entry.report.readings) listener_(r);
   }
-  return entry.report;
+  return entry.result();
 }
 
 ReaderCapabilities ReplayReaderClient::capabilities() const {

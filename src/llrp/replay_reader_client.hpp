@@ -23,7 +23,9 @@ class ReplayReaderClient final : public ReaderClient {
   /// end).  Non-strict replay skips the checks it can and keeps going.
   explicit ReplayReaderClient(ReaderJournal journal, bool strict = true);
 
-  ExecutionReport execute(const ROSpec& spec) override;
+  /// Returns the recorded result — recorded transport errors replay too,
+  /// so a controller's retry/degradation decisions reproduce exactly.
+  ExecutionResult execute(const ROSpec& spec) override;
   util::SimTime now() const override { return now_; }
   void set_read_listener(gen2::ReadCallback listener) override {
     listener_ = std::move(listener);
@@ -45,6 +47,7 @@ class ReplayReaderClient final : public ReaderClient {
 
   ReaderJournal journal_;
   std::size_t cursor_ = 0;
+  std::size_t execute_count_ = 0;  ///< ROSpec index for divergence messages.
   util::SimTime now_{0};
   bool strict_;
   gen2::ReadCallback listener_;

@@ -105,16 +105,16 @@ ReaderCapabilities SimReaderClient::capabilities() const {
   return caps;
 }
 
-ExecutionReport SimReaderClient::execute(const ROSpec& spec) {
-  ExecutionReport report;
+ExecutionResult SimReaderClient::execute(const ROSpec& spec) {
+  ExecutionResult result;
   const util::SimTime start = reader_.now();
   for (std::size_t loop = 0; loop < spec.loops; ++loop) {
     for (const auto& ai : spec.ai_specs) {
-      run_aispec(ai, report);
+      run_aispec(ai, result.report);
     }
   }
-  report.duration = reader_.now() - start;
-  return report;
+  result.report.duration = reader_.now() - start;
+  return result;
 }
 
 }  // namespace tagwatch::llrp

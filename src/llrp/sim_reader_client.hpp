@@ -32,7 +32,9 @@ class SimReaderClient final : public ReaderClient {
     listener_ = std::move(listener);
   }
 
-  ExecutionReport execute(const ROSpec& spec) override;
+  /// The simulated reader never fails: the result's error is always empty.
+  /// Wrap with FaultInjectingReaderClient to exercise failure paths.
+  ExecutionResult execute(const ROSpec& spec) override;
 
   ReaderCapabilities capabilities() const override;
 

@@ -93,6 +93,16 @@ std::vector<std::string> KeyValueConfig::get_list(const std::string& key) const 
   return out;
 }
 
+std::vector<std::string> KeyValueConfig::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    out.push_back(key);
+  }
+  return out;
+}
+
 std::vector<Epc> KeyValueConfig::get_epc_list(const std::string& key) const {
   std::vector<Epc> out;
   for (const auto& hex : get_list(key)) {

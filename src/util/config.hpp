@@ -40,6 +40,10 @@ class KeyValueConfig {
   bool contains(const std::string& key) const { return values_.contains(key); }
   std::size_t size() const noexcept { return values_.size(); }
 
+  /// Every key present, sorted — lets callers reject unknown keys with a
+  /// helpful message instead of silently ignoring typos.
+  std::vector<std::string> keys() const;
+
  private:
   std::map<std::string, std::string> values_;
 };

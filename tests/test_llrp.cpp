@@ -111,7 +111,7 @@ TEST(SimReaderClient, UnfilteredRoundsReadAllRepeatedly) {
   AISpec ai;
   ai.stop = AiSpecStopTrigger::after_rounds(4);
   spec.ai_specs.push_back(ai);
-  const ExecutionReport report = fx.client->execute(spec);
+  const ExecutionReport report = fx.client->execute(spec).report;
   EXPECT_EQ(report.rounds, 4u);
   // Dual-target alternation: every round reads all 12 tags.
   EXPECT_EQ(report.readings.size(), 48u);
@@ -124,7 +124,7 @@ TEST(SimReaderClient, AntennaCyclingAcrossRounds) {
   AISpec ai;
   ai.stop = AiSpecStopTrigger::after_rounds(4);  // both antennas, twice
   spec.ai_specs.push_back(ai);
-  const auto report = fx.client->execute(spec);
+  const auto report = fx.client->execute(spec).report;
   std::set<rf::AntennaId> used;
   for (const auto& r : report.readings) used.insert(r.antenna);
   EXPECT_EQ(used.size(), 2u);
@@ -138,7 +138,7 @@ TEST(SimReaderClient, FilterRestrictsAndRepeats) {
                         util::BitString::from_binary("1")});  // odd serials
   ai.stop = AiSpecStopTrigger::after_rounds(6);
   spec.ai_specs.push_back(ai);
-  const auto report = fx.client->execute(spec);
+  const auto report = fx.client->execute(spec).report;
   // 8 odd tags × 6 rounds: Select re-arms the session flag each round.
   EXPECT_EQ(report.readings.size(), 48u);
   for (const auto& r : report.readings) {
@@ -155,7 +155,7 @@ TEST(SimReaderClient, ConjunctiveFiltersIntersect) {
   ai.filters.push_back({gen2::MemBank::kEpc, 94, util::BitString::from_binary("1")});
   ai.stop = AiSpecStopTrigger::after_rounds(1);
   spec.ai_specs.push_back(ai);
-  const auto report = fx.client->execute(spec);
+  const auto report = fx.client->execute(spec).report;
   EXPECT_EQ(report.readings.size(), 4u);
 }
 
@@ -166,7 +166,7 @@ TEST(SimReaderClient, DurationStopTriggerBoundsTime) {
   ai.stop = AiSpecStopTrigger::after_duration(util::msec(500));
   spec.ai_specs.push_back(ai);
   const auto t0 = fx.client->now();
-  const auto report = fx.client->execute(spec);
+  const auto report = fx.client->execute(spec).report;
   const auto elapsed = fx.client->now() - t0;
   EXPECT_GE(elapsed, util::msec(500));
   // Overshoot bounded by one round (tens of ms at this scale).
@@ -181,7 +181,7 @@ TEST(SimReaderClient, LoopsRepeatAiSpecList) {
   AISpec ai;
   ai.stop = AiSpecStopTrigger::after_rounds(2);
   spec.ai_specs.push_back(ai);
-  const auto report = fx.client->execute(spec);
+  const auto report = fx.client->execute(spec).report;
   EXPECT_EQ(report.rounds, 6u);
 }
 
@@ -193,7 +193,7 @@ TEST(SimReaderClient, ListenerStreamsEveryReading) {
   AISpec ai;
   ai.stop = AiSpecStopTrigger::after_rounds(2);
   spec.ai_specs.push_back(ai);
-  const auto report = fx.client->execute(spec);
+  const auto report = fx.client->execute(spec).report;
   EXPECT_EQ(streamed, report.readings.size());
 }
 
@@ -204,7 +204,7 @@ TEST(SimReaderClient, ExplicitAntennaSelection) {
   ai.antenna_indexes = {1};
   ai.stop = AiSpecStopTrigger::after_rounds(3);
   spec.ai_specs.push_back(ai);
-  const auto report = fx.client->execute(spec);
+  const auto report = fx.client->execute(spec).report;
   for (const auto& r : report.readings) EXPECT_EQ(r.antenna, 2);
 }
 

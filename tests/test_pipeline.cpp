@@ -85,6 +85,66 @@ TEST(ReadingPipeline, DecliningSinkCountsAsDroppedAndDeliveryContinues) {
   EXPECT_GE(stats[0].mean_dispatch_us(), 0.0);
 }
 
+/// Throws on every Nth reading (always, when every == 1).
+class ThrowingSink final : public ReadingSink {
+ public:
+  explicit ThrowingSink(std::string name, std::size_t every = 1)
+      : name_(std::move(name)), every_(every) {}
+
+  std::string_view name() const override { return name_; }
+  bool on_reading(const rf::TagReading&, const ReadingContext&) override {
+    if (++seen_ % every_ == 0) throw std::runtime_error("sink exploded");
+    return true;
+  }
+  void on_cycle_end(const CycleReport&) override {
+    throw std::runtime_error("cycle-end exploded");
+  }
+
+  std::size_t seen_ = 0;
+
+ private:
+  std::string name_;
+  std::size_t every_;
+};
+
+TEST(ReadingPipeline, ThrowingSinkLosesOnlyItsOwnReadings) {
+  ReadingPipeline pipeline;
+  auto before = std::make_shared<CountingSink>("before");
+  auto bomb = std::make_shared<ThrowingSink>("bomb", /*every=*/2);
+  auto after = std::make_shared<CountingSink>("after");
+  pipeline.add_sink(before);
+  pipeline.add_sink(bomb);
+  pipeline.add_sink(after);
+
+  for (int i = 0; i < 6; ++i) {
+    pipeline.dispatch(make_reading(static_cast<std::uint64_t>(i)), {});
+  }
+
+  // Neighbours are untouched; the bomb's throws count as dropped, and the
+  // exceptions counter singles them out from polite declines.
+  const auto stats = pipeline.stats();
+  EXPECT_EQ(stats[0].delivered, 6u);
+  EXPECT_EQ(stats[2].delivered, 6u);
+  EXPECT_EQ(after->seen_, 6u);
+  EXPECT_EQ(stats[1].delivered, 3u);
+  EXPECT_EQ(stats[1].dropped, 3u);
+  EXPECT_EQ(stats[1].exceptions, 3u);
+  EXPECT_EQ(stats[0].exceptions, 0u);
+}
+
+TEST(ReadingPipeline, ThrowingCycleEndIsIsolatedToo) {
+  ReadingPipeline pipeline;
+  auto bomb = std::make_shared<ThrowingSink>("bomb");
+  auto witness = std::make_shared<CountingSink>("witness");
+  pipeline.add_sink(bomb);
+  pipeline.add_sink(witness);
+
+  CycleReport report;
+  pipeline.end_cycle(report);  // Must not propagate the exception.
+  EXPECT_EQ(witness->cycles_, 1u);
+  EXPECT_EQ(pipeline.stats()[0].exceptions, 1u);
+}
+
 TEST(ReadingPipeline, AddRejectsNullAndDuplicateNames) {
   ReadingPipeline pipeline;
   pipeline.add_sink(std::make_shared<CountingSink>("a"));
@@ -250,6 +310,30 @@ TEST(TagwatchController, CustomSinkReceivesCycleEndNotifications) {
   EXPECT_EQ(probe->seen_,
             reports[0].phase1_readings + reports[0].phase2_readings +
                 reports[1].phase1_readings + reports[1].phase2_readings);
+}
+
+TEST(TagwatchController, CycleSurvivesAThrowingApplicationSink) {
+  PipelineBed bed(8, 1, 19);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(300);
+  TagwatchController ctl(cfg, *bed.client);
+  ctl.pipeline().add_sink(std::make_shared<ThrowingSink>("bomb"));
+
+  const CycleReport r = ctl.run_cycle();  // Must not throw.
+  EXPECT_GT(r.phase1_readings + r.phase2_readings, 0u);
+
+  // Built-in sinks kept every reading; the bomb dropped all of its own.
+  for (const auto& stats : ctl.pipeline().stats()) {
+    SCOPED_TRACE(stats.name);
+    if (stats.name == "bomb") {
+      EXPECT_EQ(stats.delivered, 0u);
+      // Every reading threw, plus one on_cycle_end throw.
+      EXPECT_EQ(stats.exceptions, stats.dropped + 1);
+      EXPECT_GT(stats.dropped, 0u);
+    } else {
+      EXPECT_EQ(stats.dropped, 0u);
+    }
+  }
 }
 
 }  // namespace

@@ -136,7 +136,7 @@ TEST(RecordingReaderClient, StreamsReadingsToListenerLive) {
   AISpec ai;
   ai.stop = AiSpecStopTrigger::after_rounds(2);
   spec.ai_specs.push_back(ai);
-  const ExecutionReport report = bed.recorder->execute(spec);
+  const ExecutionReport report = bed.recorder->execute(spec).report;
   EXPECT_EQ(streamed, report.readings.size());
   EXPECT_GT(streamed, 0u);
   ASSERT_EQ(bed.recorder->journal().size(), 1u);

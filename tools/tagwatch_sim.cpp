@@ -29,13 +29,30 @@
 //   replay_journal  = <path>      replay a recorded trace instead of
 //                                 simulating (world keys are ignored)
 //   pipeline_stats  = false       print per-sink delivery accounting
+//
+// Fault-injection keys (flaky-reader drills; see docs/API.md "Failure
+// model & degraded mode"):
+//   fault_injection      = false  wrap the reader in a fault injector
+//   fault_rate           = 0.1    per-execute failure probability [0,1]
+//   fault_seed           = 99     fault schedule RNG seed
+//   fault_drop_rate      = 0      per-reading drop probability [0,1]
+//   fault_duplicate_rate = 0      per-reading duplicate probability [0,1]
+//   fault_corrupt_rate   = 0      per-reading phase-noise probability [0,1]
+//   fault_reconnect_ms   = 50     reconnect latency after a disconnect
+//   retry_attempts       = 3      controller attempts per ROSpec [1,10]
+//   degrade_after        = 3      K failed cycles -> read-all fallback
+//   restore_after        = 3      M healthy cycles -> adaptive again
+#include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "core/schedule_export.hpp"
 #include "core/tagwatch.hpp"
+#include "llrp/fault_injection.hpp"
 #include "llrp/recording_reader_client.hpp"
 #include "llrp/replay_reader_client.hpp"
 #include "llrp/sim_reader_client.hpp"
@@ -53,6 +70,75 @@ core::ScheduleMode parse_mode(const std::string& mode) {
   if (mode == "read-all") return core::ScheduleMode::kReadAll;
   throw std::invalid_argument("unknown mode: " + mode +
                               " (expected tagwatch|naive|read-all)");
+}
+
+/// Every key a scenario file may contain.  Unknown keys are rejected with
+/// this list so a typo ("cycels = 10") fails loudly instead of silently
+/// running defaults.
+constexpr const char* kAcceptedKeys[] = {
+    "tags", "movers", "mover_speed", "people", "mode", "cycles",
+    "phase2_seconds", "channels", "seed", "pinned_targets", "irr_top",
+    "export_schedule", "votes", "k", "record_journal", "replay_journal",
+    "pipeline_stats", "fault_injection", "fault_rate", "fault_seed",
+    "fault_drop_rate", "fault_duplicate_rate", "fault_corrupt_rate",
+    "fault_reconnect_ms", "retry_attempts", "degrade_after",
+    "restore_after"};
+
+void reject_unknown_keys(const util::KeyValueConfig& cfg) {
+  for (const std::string& key : cfg.keys()) {
+    const bool known =
+        std::find_if(std::begin(kAcceptedKeys), std::end(kAcceptedKeys),
+                     [&key](const char* k) { return key == k; }) !=
+        std::end(kAcceptedKeys);
+    if (known) continue;
+    std::string accepted;
+    for (const char* k : kAcceptedKeys) {
+      if (!accepted.empty()) accepted += ", ";
+      accepted += k;
+    }
+    throw std::invalid_argument("unknown scenario key '" + key +
+                                "'; accepted keys: " + accepted);
+  }
+}
+
+/// get_int_or with a range check and a key-named message — std::stoll's
+/// bare "stoll" exception never reaches the user.
+std::int64_t int_in(const util::KeyValueConfig& cfg, const std::string& key,
+                    std::int64_t fallback, std::int64_t lo, std::int64_t hi) {
+  std::int64_t v = fallback;
+  try {
+    v = cfg.get_int_or(key, fallback);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario key '" + key + "': '" +
+                                cfg.get_or(key, "") +
+                                "' is not an integer");
+  }
+  if (v < lo || v > hi) {
+    throw std::invalid_argument(
+        "scenario key '" + key + "' = " + std::to_string(v) +
+        " out of range; accepted: [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+double double_in(const util::KeyValueConfig& cfg, const std::string& key,
+                 double fallback, double lo, double hi) {
+  double v = fallback;
+  try {
+    v = cfg.get_double_or(key, fallback);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario key '" + key + "': '" +
+                                cfg.get_or(key, "") + "' is not a number");
+  }
+  if (v < lo || v > hi) {
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "scenario key '%s' = %g out of range; accepted: [%g, %g]",
+                  key.c_str(), v, lo, hi);
+    throw std::invalid_argument(msg);
+  }
+  return v;
 }
 
 }  // namespace
@@ -77,15 +163,29 @@ int run(int argc, char** argv) {
     std::printf("scenario: built-in defaults (pass a .conf path to change)\n");
   }
 
-  const auto n_tags = static_cast<std::size_t>(cfg.get_int_or("tags", 40));
-  const auto n_movers = static_cast<std::size_t>(cfg.get_int_or("movers", 2));
-  const double mover_speed = cfg.get_double_or("mover_speed", 0.7);
-  const auto n_people = static_cast<std::size_t>(cfg.get_int_or("people", 0));
+  reject_unknown_keys(cfg);
+
+  const auto n_tags =
+      static_cast<std::size_t>(int_in(cfg, "tags", 40, 1, 100000));
+  const auto n_movers = static_cast<std::size_t>(
+      int_in(cfg, "movers", 2, 0, static_cast<std::int64_t>(n_tags)));
+  const double mover_speed = double_in(cfg, "mover_speed", 0.7, 0.0, 100.0);
+  const auto n_people =
+      static_cast<std::size_t>(int_in(cfg, "people", 0, 0, 1000));
   const core::ScheduleMode mode = parse_mode(cfg.get_or("mode", "tagwatch"));
-  const auto cycles = static_cast<std::size_t>(cfg.get_int_or("cycles", 10));
-  const auto seed = static_cast<std::uint64_t>(cfg.get_int_or("seed", 2017));
-  const bool sixteen_channels = cfg.get_int_or("channels", 1) == 16;
-  const auto irr_top = static_cast<std::size_t>(cfg.get_int_or("irr_top", 10));
+  const auto cycles =
+      static_cast<std::size_t>(int_in(cfg, "cycles", 10, 1, 1000000));
+  const auto seed = static_cast<std::uint64_t>(int_in(
+      cfg, "seed", 2017, 0, std::numeric_limits<std::int64_t>::max()));
+  const std::int64_t channels = int_in(cfg, "channels", 1, 1, 16);
+  if (channels != 1 && channels != 16) {
+    throw std::invalid_argument("scenario key 'channels' = " +
+                                std::to_string(channels) +
+                                " unsupported; accepted: 1 or 16");
+  }
+  const bool sixteen_channels = channels == 16;
+  const auto irr_top =
+      static_cast<std::size_t>(int_in(cfg, "irr_top", 10, 0, 100000));
 
   // ------------------------------------------------------------- world
   sim::World world;
@@ -128,9 +228,14 @@ int run(int argc, char** argv) {
       gen2::ReaderConfig{}, world, channel, antennas, seed + 1);
 
   // Transport selection: simulate, simulate-and-record, or replay a trace.
-  // The controller only ever sees the abstract interface.
+  // The controller only ever sees the abstract interface.  With
+  // fault_injection the stack is sim -> injector -> recorder, so the
+  // journal captures the faults and a replay reproduces them bit-exactly
+  // (a replayed trace already contains its faults — no injector then).
   const std::string record_path = cfg.get_or("record_journal", "");
   const std::string replay_path = cfg.get_or("replay_journal", "");
+  const bool inject_faults = cfg.get_bool_or("fault_injection", false);
+  std::unique_ptr<llrp::FaultInjectingReaderClient> injector;
   std::unique_ptr<llrp::RecordingReaderClient> recorder;
   std::unique_ptr<llrp::ReplayReaderClient> replayer;
   llrp::ReaderClient* client = &sim_client;
@@ -141,20 +246,49 @@ int run(int argc, char** argv) {
     std::printf("replaying journal: %s (%zu operations, backend %s)\n",
                 replay_path.c_str(), replayer->remaining(),
                 replayer->capabilities().model.c_str());
-  } else if (!record_path.empty()) {
-    recorder = std::make_unique<llrp::RecordingReaderClient>(sim_client);
-    client = recorder.get();
+  } else {
+    if (inject_faults) {
+      llrp::FaultPlan plan;
+      plan.seed =
+          static_cast<std::uint64_t>(int_in(cfg, "fault_seed", 99, 0,
+                                            std::numeric_limits<std::int64_t>::max()));
+      plan.execute_failure_probability =
+          double_in(cfg, "fault_rate", 0.1, 0.0, 1.0);
+      plan.weight_disconnect = 0.3;
+      plan.weight_partial_report = 0.3;
+      plan.reading_drop_rate = double_in(cfg, "fault_drop_rate", 0.0, 0.0, 1.0);
+      plan.reading_duplicate_rate =
+          double_in(cfg, "fault_duplicate_rate", 0.0, 0.0, 1.0);
+      plan.phase_corruption_rate =
+          double_in(cfg, "fault_corrupt_rate", 0.0, 0.0, 1.0);
+      plan.reconnect_latency =
+          util::msec(int_in(cfg, "fault_reconnect_ms", 50, 0, 60000));
+      injector = std::make_unique<llrp::FaultInjectingReaderClient>(sim_client,
+                                                                    plan);
+      client = injector.get();
+    }
+    if (!record_path.empty()) {
+      recorder = std::make_unique<llrp::RecordingReaderClient>(*client);
+      client = recorder.get();
+    }
   }
 
   // ---------------------------------------------------------- tagwatch
   core::TagwatchConfig twcfg;
   twcfg.mode = mode;
-  twcfg.phase2_duration = util::sec(cfg.get_int_or("phase2_seconds", 5));
+  twcfg.phase2_duration =
+      util::sec(int_in(cfg, "phase2_seconds", 5, 1, 3600));
   twcfg.pinned_targets = cfg.get_epc_list("pinned_targets");
   twcfg.assessor.mobile_vote_threshold =
-      static_cast<std::size_t>(cfg.get_int_or("votes", 1));
+      static_cast<std::size_t>(int_in(cfg, "votes", 1, 1, 100));
   twcfg.assessor.detector.phase_mog.max_components =
-      static_cast<std::size_t>(cfg.get_int_or("k", 8));
+      static_cast<std::size_t>(int_in(cfg, "k", 8, 1, 64));
+  twcfg.resilience.retry.max_attempts =
+      static_cast<std::size_t>(int_in(cfg, "retry_attempts", 3, 1, 10));
+  twcfg.resilience.degrade_after_failures =
+      static_cast<std::size_t>(int_in(cfg, "degrade_after", 3, 1, 100));
+  twcfg.resilience.restore_after_healthy =
+      static_cast<std::size_t>(int_in(cfg, "restore_after", 3, 1, 100));
   core::TagwatchController ctl(twcfg, *client);
 
   core::IrrMonitor monitor(twcfg.phase2_duration);
@@ -163,8 +297,9 @@ int run(int argc, char** argv) {
   const std::shared_ptr<core::PipelineMetrics> metrics =
       core::attach_metrics(ctl);
 
-  std::printf("\n%5s  %-10s  %7s  %7s  %9s  %12s  %10s\n", "cycle", "mode",
-              "scene", "targets", "bitmasks", "phase2 reads", "gap (ms)");
+  std::printf("\n%5s  %-10s  %7s  %7s  %9s  %12s  %10s  %5s  %7s\n", "cycle",
+              "mode", "scene", "targets", "bitmasks", "phase2 reads",
+              "gap (ms)", "fails", "retries");
   core::CycleReport last_report;
   for (std::size_t c = 0; c < cycles; ++c) {
     const core::CycleReport r = ctl.run_cycle();
@@ -172,10 +307,13 @@ int run(int argc, char** argv) {
         r.interphase_gap
             ? util::format_fixed(util::to_millis(*r.interphase_gap), 1)
             : std::string("-");
-    std::printf("%5zu  %-10s  %7zu  %7zu  %9zu  %12zu  %10s\n", r.cycle_index,
-                r.read_all_fallback ? "read-all" : "selective",
-                r.scene.size(), r.targets.size(), r.schedule.selections.size(),
-                r.phase2_readings, gap.c_str());
+    const char* mode_label = r.degraded_mode     ? "degraded"
+                             : r.read_all_fallback ? "read-all"
+                                                   : "selective";
+    std::printf("%5zu  %-10s  %7zu  %7zu  %9zu  %12zu  %10s  %5zu  %7zu\n",
+                r.cycle_index, mode_label, r.scene.size(), r.targets.size(),
+                r.schedule.selections.size(), r.phase2_readings, gap.c_str(),
+                r.execute_failures, r.retries);
     last_report = r;
   }
 
@@ -209,6 +347,46 @@ int run(int argc, char** argv) {
                   static_cast<unsigned long long>(sink.delivered),
                   static_cast<unsigned long long>(sink.dropped),
                   sink.mean_dispatch_us());
+    }
+  }
+
+  if (inject_faults || ctl.health().faults_total() > 0) {
+    const core::HealthMetrics& h = ctl.health();
+    std::printf(
+        "\nreader health: %llu faults (%llu timeout, %llu disconnect, "
+        "%llu protocol, %llu partial, %llu antenna-lost)\n",
+        static_cast<unsigned long long>(h.faults_total()),
+        static_cast<unsigned long long>(h.timeouts),
+        static_cast<unsigned long long>(h.disconnects),
+        static_cast<unsigned long long>(h.protocol_errors),
+        static_cast<unsigned long long>(h.partial_reports),
+        static_cast<unsigned long long>(h.antenna_losses));
+    std::printf(
+        "  %llu retries, %llu giveups, %.1f ms in backoff, "
+        "%llu readings salvaged from %llu partial reports\n",
+        static_cast<unsigned long long>(h.retries),
+        static_cast<unsigned long long>(h.giveups),
+        util::to_millis(h.backoff_total),
+        static_cast<unsigned long long>(h.salvaged_readings),
+        static_cast<unsigned long long>(h.partial_salvages));
+    std::printf(
+        "  degraded: %llu entries, %llu exits, %llu cycles spent degraded; "
+        "%llu watchdog trips; %zu antennas quarantined\n",
+        static_cast<unsigned long long>(h.degraded_entries),
+        static_cast<unsigned long long>(h.degraded_exits),
+        static_cast<unsigned long long>(h.degraded_cycles),
+        static_cast<unsigned long long>(h.watchdog_trips),
+        ctl.quarantined_antennas().size());
+    if (injector != nullptr) {
+      const llrp::InjectionStats& s = injector->stats();
+      std::printf(
+          "  injected: %llu/%llu executes faulted; readings: %llu dropped, "
+          "%llu duplicated, %llu phase-corrupted\n",
+          static_cast<unsigned long long>(s.injected_faults_total()),
+          static_cast<unsigned long long>(s.executes),
+          static_cast<unsigned long long>(s.dropped_readings),
+          static_cast<unsigned long long>(s.duplicated_readings),
+          static_cast<unsigned long long>(s.corrupted_readings));
     }
   }
 
