@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "core/detectors.hpp"
 #include "gen2/reader.hpp"
 #include "util/circular.hpp"
@@ -68,7 +69,8 @@ Rates evaluate(core::DetectorKind kind, const core::DetectorConfig& config,
     gen2::QueryCommand q;
     q.q = 5;
     q.target = target;
-    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB : gen2::InvFlag::kA;
+    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB
+                                         : gen2::InvFlag::kA;
     reader.run_inventory_round(q, [&](const rf::TagReading& r) {
       auto& det = dets[r.epc];
       if (!det) det = core::make_detector(kind, config);
@@ -81,8 +83,10 @@ Rates evaluate(core::DetectorKind kind, const core::DetectorConfig& config,
       }
     });
   }
-  return {fp + tn ? static_cast<double>(fp) / static_cast<double>(fp + tn) : 0.0,
-          tp + fn ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0};
+  return {fp + tn ? static_cast<double>(fp) / static_cast<double>(fp + tn)
+                  : 0.0,
+          tp + fn ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                  : 0.0};
 }
 
 }  // namespace
@@ -91,6 +95,7 @@ int main() {
   std::printf("Ablation — detector design choices (30 static tags + 5 "
               "people + 1 train tag, 16-channel hopping)\n\n");
 
+  bench::BenchReport report("ablation_detectors", /*seed=*/501);
   std::printf("(a) MoG model keying\n");
   std::printf("%-24s  %8s  %8s\n", "keying", "FPR", "TPR");
   {
@@ -98,12 +103,16 @@ int main() {
     const Rates r1 = evaluate(core::DetectorKind::kPhaseMog, per_channel, 501);
     std::printf("%-24s  %7.2f%%  %7.1f%%\n", "per (antenna, channel)",
                 100.0 * r1.fpr, 100.0 * r1.tpr);
+    report.add("per_channel_fpr", r1.fpr, "ratio");
+    report.add("per_channel_tpr", r1.tpr, "ratio");
 
     core::DetectorConfig pooled = per_channel;
     pooled.keying.per_channel = false;
     const Rates r2 = evaluate(core::DetectorKind::kPhaseMog, pooled, 501);
     std::printf("%-24s  %7.2f%%  %7.1f%%\n", "pooled across channels",
                 100.0 * r2.fpr, 100.0 * r2.tpr);
+    report.add("pooled_fpr", r2.fpr, "ratio");
+    report.add("pooled_tpr", r2.tpr, "ratio");
   }
   std::printf("(pooling mixes incomparable per-channel phases: the mixture "
               "either balloons or misfires)\n\n");
@@ -119,8 +128,11 @@ int main() {
     const Rates r = evaluate(kind, core::DetectorConfig{}, 502);
     std::printf("%-24s  %7.2f%%  %7.1f%%\n", name, 100.0 * r.fpr,
                 100.0 * r.tpr);
+    report.add(std::string(name) + "_fpr", r.fpr, "ratio");
+    report.add(std::string(name) + "_tpr", r.tpr, "ratio");
   }
   std::printf("(AND suppresses multipath false alarms at some sensitivity "
               "cost; OR maximizes sensitivity)\n");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -50,7 +50,8 @@ double false_positive_rate_with_k(std::size_t k, std::uint64_t seed) {
     gen2::QueryCommand q;
     q.q = 5;
     q.target = target;
-    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB : gen2::InvFlag::kA;
+    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB
+                                         : gen2::InvFlag::kA;
     reader.run_inventory_round(q, [&](const rf::TagReading& r) {
       auto& det = dets[r.epc];
       if (!det) det = core::make_detector(core::DetectorKind::kPhaseMog, cfg);
@@ -83,9 +84,11 @@ int main() {
   std::printf("(30 static office tags, 6 people walking; FPR after 60 s "
               "warm-up)\n\n");
   std::printf("%4s  %8s\n", "K", "FPR");
+  bench::BenchReport report("ablation_gmm", /*seed=*/6100);
   for (const std::size_t k : {1u, 2u, 4u, 8u}) {
-    std::printf("%4zu  %7.2f%%\n", k,
-                100.0 * false_positive_rate_with_k(k, 6100 + k));
+    const double fpr = false_positive_rate_with_k(k, 6100 + k);
+    std::printf("%4zu  %7.2f%%\n", k, 100.0 * fpr);
+    report.add("fpr_at_k" + std::to_string(k), fpr, "ratio");
   }
   std::printf("\n(the paper's default K=8 exists to absorb multipath states; "
               "K=1 reverts to the naive single-Gaussian model)\n\n");
@@ -104,5 +107,8 @@ int main() {
               without_tau0);
   std::printf("\n(modeling the per-round start-up cost is what §2.2 claims "
               "as a first: ignoring it costs real rate)\n");
+  report.add("mover_irr_with_tau0", with_tau0, "hz");
+  report.add("mover_irr_without_tau0", without_tau0, "hz");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "core/tagwatch.hpp"
 #include "llrp/sim_reader_client.hpp"
 #include "util/circular.hpp"

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "core/detectors.hpp"
 #include "gen2/reader.hpp"
 #include "util/circular.hpp"
@@ -68,7 +69,8 @@ std::vector<Sample> generate_samples(std::uint64_t seed) {
     gen2::QueryCommand q;
     q.q = 6;
     q.target = target;
-    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB : gen2::InvFlag::kA;
+    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB
+                                         : gen2::InvFlag::kA;
     reader.run_inventory_round(q, [&](const rf::TagReading& r) {
       samples.push_back({r, r.epc == train_epc});
     });
@@ -113,8 +115,10 @@ RocPoint evaluate(core::DetectorKind kind, double xi,
     }
   }
   (void)warmup_skipped;
-  return {fp + tn ? static_cast<double>(fp) / static_cast<double>(fp + tn) : 0.0,
-          tp + fn ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0};
+  return {fp + tn ? static_cast<double>(fp) / static_cast<double>(fp + tn)
+                  : 0.0,
+          tp + fn ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                  : 0.0};
 }
 
 }  // namespace
@@ -136,6 +140,7 @@ int main() {
   };
   const std::vector<double> xis{0.5, 1.0, 1.5, 2.0, 3.0, 4.5, 6.0, 9.0, 15.0};
 
+  bench::BenchReport report("detection_roc", /*seed=*/2024);
   for (const auto& [kind, name] : methods) {
     std::printf("%-10s  %s\n", name, "(xi: FPR -> TPR)");
     double best_tpr_at_01 = 0.0;
@@ -145,8 +150,11 @@ int main() {
       if (p.fpr <= 0.10) best_tpr_at_01 = std::max(best_tpr_at_01, p.tpr);
     }
     std::printf("   best TPR at FPR<=0.10: %.3f\n\n", best_tpr_at_01);
+    report.add(std::string(name) + "_best_tpr_at_fpr_010", best_tpr_at_01,
+               "ratio");
   }
   std::printf("paper: Phase-MoG achieves TPR >= 0.95 at FPR <= 0.1; "
               "RSS methods trail badly.\n");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

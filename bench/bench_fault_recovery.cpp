@@ -102,6 +102,7 @@ int main() {
   std::printf("%10s  %9s  %7s  %8s  %8s  %10s  %11s\n", "fault rate",
               "IRR (Hz)", "faults", "retries", "giveups", "degraded %",
               "backoff ms");
+  bench::BenchReport report("fault_recovery", kSeed);
   for (const double rate : rates) {
     const SweepPoint p = run_rate(rate, kSeed, kCycles);
     std::printf("%9.0f%%  %9.2f  %7llu  %8llu  %8llu  %9.0f%%  %11.1f\n",
@@ -110,15 +111,24 @@ int main() {
                 static_cast<unsigned long long>(p.retries),
                 static_cast<unsigned long long>(p.giveups),
                 p.degraded_fraction * 100.0, p.backoff_ms);
+    const std::string at =
+        "_at_" + std::to_string(static_cast<int>(rate * 100.0)) + "pct";
+    report.add("mover_irr" + at, p.mover_irr, "hz");
+    report.add("degraded_fraction" + at, p.degraded_fraction, "ratio");
   }
 
   std::printf("\ntime-to-recover after a total outage (dead reader until "
               "degraded, then healed):\n");
+  double recovery_sum = 0.0;
   for (const std::uint64_t seed : {kSeed, kSeed + 1, kSeed + 2}) {
+    const std::size_t cycles_to_recover = time_to_recover(seed);
+    recovery_sum += static_cast<double>(cycles_to_recover);
     std::printf("  seed %llu: %zu cycles back to adaptive mode\n",
-                static_cast<unsigned long long>(seed), time_to_recover(seed));
+                static_cast<unsigned long long>(seed), cycles_to_recover);
   }
+  report.add("mean_recovery_cycles", recovery_sum / 3.0, "count");
   std::printf("\nexpected: graceful IRR loss to ~20%% (retries absorb "
               "faults); recovery = restore_after_healthy cycles.\n");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -48,6 +48,7 @@ int main() {
   std::printf("%-8s  %6s %6s %6s  %6s %6s %6s\n", "movers", "P10", "median",
               "P90", "P10", "median", "P90");
 
+  bench::BenchReport report("irr_gain", /*seed=*/9000);
   for (const double fraction : fractions) {
     std::vector<double> tw_gains, nv_gains;
     for (const std::size_t n : populations) {
@@ -77,8 +78,15 @@ int main() {
                 util::median(tw_gains), util::percentile(tw_gains, 0.9),
                 util::percentile(nv_gains, 0.1), util::median(nv_gains),
                 util::percentile(nv_gains, 0.9));
+    const auto pct = static_cast<int>(fraction * 100.0);
+    const std::string at = "_at_" + std::to_string(pct) + "pct";
+    report.add("tagwatch_median_gain" + at, util::median(tw_gains), "ratio");
+    report.add("tagwatch_p90_gain" + at, util::percentile(tw_gains, 0.9),
+               "ratio");
+    report.add("naive_median_gain" + at, util::median(nv_gains), "ratio");
   }
   std::printf("\npaper: 5%% -> 3.2x median (4x P90); 10%% -> 1.9x; "
               "20%% -> ~1x with naive <1x.\n");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

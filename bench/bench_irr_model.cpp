@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "core/rate_model.hpp"
 #include "gen2/reader.hpp"
 #include "util/circular.hpp"
@@ -50,7 +51,8 @@ util::SimDuration mean_round_duration(
     gen2::QueryCommand q;
     q.q = initial_q;
     q.target = target;
-    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB : gen2::InvFlag::kA;
+    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB
+                                         : gen2::InvFlag::kA;
     const auto stats = reader.run_inventory_round(q, nullptr);
     if (r > 0) total += stats.duration;  // skip warm-up round
   }
@@ -109,5 +111,14 @@ int main() {
   const double drop = 1.0 - irr[2].back() / irr[2].front();
   std::printf("\nIRR drop from n=1 to n=40 (Q0=4): %.0f%%   (paper: ~84%%)\n",
               drop * 100.0);
+
+  bench::BenchReport report("irr_model", /*seed=*/1000);
+  report.add("fit_tau0", fitted.tau0_seconds() * 1e3, "ms");
+  report.add("fit_taubar", fitted.taubar_seconds() * 1e3, "ms");
+  report.add("fit_r_squared", fitted.fit_r_squared(), "ratio");
+  report.add("irr_n1_q4", irr[2].front(), "hz");
+  report.add("irr_n40_q4", irr[2].back(), "hz");
+  report.add("irr_drop_n1_to_n40", drop, "ratio");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "core/detectors.hpp"
 #include "gen2/reader.hpp"
 #include "util/circular.hpp"
@@ -51,7 +52,8 @@ std::vector<rf::TagReading> collect_trace(std::uint64_t seed,
   while (world.now() < util::SimTime{0} + duration) {
     gen2::QueryCommand q;
     q.target = target;
-    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB : gen2::InvFlag::kA;
+    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB
+                                         : gen2::InvFlag::kA;
     reader.run_inventory_round(
         q, [&trace](const rf::TagReading& r) { trace.push_back(r); });
   }
@@ -114,5 +116,10 @@ int main() {
               "(130 readings)\n");
   std::printf("measured: %.0f%% at 1.5 s, %.0f%% at 2.9 s\n", at_1_5 * 100.0,
               at_3 * 100.0);
+
+  bench::BenchReport report("learning_curve", /*seed=*/3000);
+  report.add("accuracy_at_1_5s", at_1_5, "ratio");
+  report.add("accuracy_at_2_9s", at_3, "ratio");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -1,0 +1,118 @@
+// BenchReport: machine-readable results for the bench harnesses.
+//
+// Every harness prints a human-oriented table on stdout and, at the end of
+// main(), writes a JSON twin — BENCH_<name>.json — so CI and notebooks can
+// track headline numbers across commits without scraping stdout.  The
+// schema is documented in docs/API.md ("Bench result JSON").
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+// Stamped by bench/CMakeLists.txt from `git describe --always --dirty`.
+#ifndef TAGWATCH_GIT_DESCRIBE
+#define TAGWATCH_GIT_DESCRIBE "unknown"
+#endif
+
+namespace tagwatch::bench {
+
+/// Escapes a string for embedding in a JSON string literal.  Metric names
+/// are ASCII identifiers in practice; this covers the general case anyway.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Collects named scalar metrics from one harness run and writes them as
+/// BENCH_<name>.json (into $TAGWATCH_BENCH_DIR if set, else the working
+/// directory).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name, std::uint64_t seed = 0)
+      : bench_name_(std::move(bench_name)), seed_(seed) {}
+
+  /// Records one metric.  `unit` is free-form but should be stable across
+  /// runs ("hz", "ms", "ratio", "count", ...).
+  void add(std::string name, double value, std::string unit) {
+    metrics_.push_back({std::move(name), value, std::move(unit)});
+  }
+
+  std::size_t size() const noexcept { return metrics_.size(); }
+
+  /// Renders the report as JSON.  Non-finite values become null so the
+  /// output always parses.
+  std::string to_json() const {
+    std::string out = "{\n";
+    out += "  \"bench\": \"" + json_escape(bench_name_) + "\",\n";
+    out += "  \"seed\": " + std::to_string(seed_) + ",\n";
+    out += "  \"git\": \"" + json_escape(TAGWATCH_GIT_DESCRIBE) + "\",\n";
+    out += "  \"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      char value[64];
+      if (std::isfinite(m.value)) {
+        // %.17g round-trips every IEEE-754 double exactly.
+        std::snprintf(value, sizeof(value), "%.17g", m.value);
+      } else {
+        std::snprintf(value, sizeof(value), "null");
+      }
+      out += "    {\"name\": \"" + json_escape(m.name) + "\", \"value\": " +
+             value + ", \"unit\": \"" + json_escape(m.unit) + "\"}";
+      out += (i + 1 < metrics_.size()) ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<bench_name>.json and returns the path written.
+  /// Call once at the end of main(); throws std::runtime_error on I/O
+  /// failure so a broken CI artifact step fails loudly.
+  std::string write() const {
+    const char* dir = std::getenv("TAGWATCH_BENCH_DIR");
+    std::string path = (dir != nullptr) ? std::string(dir) + "/" : "";
+    path += "BENCH_" + bench_name_ + ".json";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("BenchReport: cannot open " + path);
+    out << to_json();
+    if (!out) throw std::runtime_error("BenchReport: write failed: " + path);
+    return path;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+  };
+
+  std::string bench_name_;
+  std::uint64_t seed_ = 0;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace tagwatch::bench

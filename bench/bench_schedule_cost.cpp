@@ -58,5 +58,13 @@ int main() {
               util::percentile(gap_ms, 0.5), util::percentile(gap_ms, 0.9));
   std::printf("\npaper: <= 4 ms at P50, <= 6 ms at P90 for the "
               "compute-induced slice of the gap.\n");
+
+  bench::BenchReport report("schedule_cost", /*seed=*/801);
+  report.add("compute_p50", util::percentile(compute_ms, 0.5), "ms");
+  report.add("compute_p90", util::percentile(compute_ms, 0.9), "ms");
+  report.add("compute_p99", util::percentile(compute_ms, 0.99), "ms");
+  report.add("gap_p50", util::percentile(gap_ms, 0.5), "ms");
+  report.add("gap_p90", util::percentile(gap_ms, 0.9), "ms");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

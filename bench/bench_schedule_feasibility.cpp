@@ -53,11 +53,15 @@ CaseResult run_case(std::size_t n_targets, core::ScheduleMode mode,
   return result;
 }
 
-void print_case(std::size_t n_targets, std::uint64_t seed) {
+void print_case(std::size_t n_targets, std::uint64_t seed,
+                bench::BenchReport& report) {
   std::printf("---- %zu targets out of 40 tags ----\n", n_targets);
-  const CaseResult all = run_case(n_targets, core::ScheduleMode::kReadAll, seed);
-  const CaseResult tw = run_case(n_targets, core::ScheduleMode::kGreedyCover, seed);
-  const CaseResult nv = run_case(n_targets, core::ScheduleMode::kNaiveEpcMasks, seed);
+  const CaseResult all =
+      run_case(n_targets, core::ScheduleMode::kReadAll, seed);
+  const CaseResult tw =
+      run_case(n_targets, core::ScheduleMode::kGreedyCover, seed);
+  const CaseResult nv =
+      run_case(n_targets, core::ScheduleMode::kNaiveEpcMasks, seed);
 
   std::printf("%5s  %9s  %9s  %9s   %s\n", "tag", "read-all", "tagwatch",
               "naive", "role");
@@ -87,6 +91,14 @@ void print_case(std::size_t n_targets, std::uint64_t seed) {
               (sum_tw / sum_all - 1.0) * 100.0, sum_nv / n,
               (sum_nv / sum_all - 1.0) * 100.0);
   std::printf("collaterally covered non-targets: %zu\n\n", collateral);
+
+  const std::string label =
+      "_" + std::to_string(n_targets) + "_of_40";
+  report.add("readall_target_mean" + label, sum_all / n, "hz");
+  report.add("tagwatch_target_mean" + label, sum_tw / n, "hz");
+  report.add("naive_target_mean" + label, sum_nv / n, "hz");
+  report.add("collateral_nontargets" + label,
+             static_cast<double>(collateral), "count");
 }
 
 }  // namespace
@@ -94,9 +106,11 @@ void print_case(std::size_t n_targets, std::uint64_t seed) {
 int main() {
   std::printf("E7 / Fig. 15-16 — schedule feasibility (targets pinned via "
               "config; Phase II IRR only)\n\n");
-  print_case(2, 501);  // Fig. 15
-  print_case(5, 502);  // Fig. 16
+  bench::BenchReport report("schedule_feasibility", /*seed=*/501);
+  print_case(2, 501, report);  // Fig. 15
+  print_case(5, 502, report);  // Fig. 16
   std::printf("paper: 2/40 -> +261%% (13->47 Hz) for Tagwatch, +83%% naive;\n"
               "       5/40 -> +120%% for Tagwatch, naive below read-all.\n");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -4,6 +4,9 @@
 // Fig.-17 budget (a few ms per cycle).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench_report.hpp"
 #include "core/setcover.hpp"
 #include "util/rng.hpp"
 
@@ -87,6 +90,34 @@ void BM_EndToEndSchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSchedule)->Args({60, 3})->Args({400, 20});
 
+/// Console output as usual, plus every run teed into a BenchReport so the
+/// microbench emits the same BENCH_<name>.json as the scenario harnesses.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bench::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_.add(run.benchmark_name() + "/real_time",
+                  run.GetAdjustedRealTime(),
+                  benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchReport report("scheduler_micro", /*seed=*/7);
+  JsonTeeReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  std::printf("wrote %s\n", report.write().c_str());
+  return 0;
+}

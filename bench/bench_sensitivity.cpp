@@ -9,7 +9,9 @@
 // 3 cm; RSS detects ~9% at 1 cm and only reaches ~76% at 5 cm.
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "bench_report.hpp"
 #include "core/detectors.hpp"
 #include "gen2/reader.hpp"
 #include "util/circular.hpp"
@@ -62,7 +64,8 @@ bool trial(core::DetectorKind kind, double displacement_m, std::uint64_t seed) {
     reader.set_active_antenna(round++ % antennas.size());
     gen2::QueryCommand q;
     q.target = target;
-    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB : gen2::InvFlag::kA;
+    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB
+                                         : gen2::InvFlag::kA;
     reader.run_inventory_round(q, [&](const rf::TagReading& r) {
       const bool moving =
           detector->update(r) == core::MotionVerdict::kMoving;
@@ -82,6 +85,7 @@ int main() {
   std::printf("E5 / Fig. 13 — detection sensitivity vs displacement "
               "(%d trials each)\n\n", kTrials);
   std::printf("%-12s  %10s  %10s\n", "displacement", "Phase-MoG", "RSS-MoG");
+  bench::BenchReport report("sensitivity", /*seed=*/1000);
   for (int cm = 1; cm <= 5; ++cm) {
     int phase_hits = 0, rss_hits = 0;
     for (int t = 0; t < kTrials; ++t) {
@@ -91,9 +95,15 @@ int main() {
     }
     std::printf("%9d cm  %9.0f%%  %9.0f%%\n", cm,
                 100.0 * phase_hits / kTrials, 100.0 * rss_hits / kTrials);
+    const std::string at = "_at_" + std::to_string(cm) + "cm";
+    report.add("phase_mog_detection" + at,
+               static_cast<double>(phase_hits) / kTrials, "ratio");
+    report.add("rss_mog_detection" + at,
+               static_cast<double>(rss_hits) / kTrials, "ratio");
   }
   std::printf("\npaper: phase 87%%@2cm, 99%%@3cm; RSS 9%%@1cm ... 76%%@5cm.\n");
   std::printf("(a 1 cm displacement doubles to 2 cm of round-trip path — the "
               "phase's natural amplifier)\n");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

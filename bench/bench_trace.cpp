@@ -12,6 +12,7 @@
 // simulated reader profile and duration are configurable), the skew holds.
 #include <cstdio>
 
+#include "bench_report.hpp"
 #include "trace/trackpoint.hpp"
 #include "util/stats.hpp"
 
@@ -61,10 +62,28 @@ int main() {
     (t.conveyor ? conveyor_counts : parked_counts)
         .push_back(static_cast<double>(t.readings));
   }
+  const double conveyor_median =
+      conveyor_counts.empty() ? 0.0 : util::median(conveyor_counts);
+  const double parked_median =
+      parked_counts.empty() ? 0.0 : util::median(parked_counts);
   std::printf("\nper-tag reads — conveyor median: %.0f, parked median: %.0f\n",
-              conveyor_counts.empty() ? 0.0 : util::median(conveyor_counts),
-              parked_counts.empty() ? 0.0 : util::median(parked_counts));
+              conveyor_median, parked_median);
   std::printf("paper: movers read <5 times per transit while parked tags "
               "collect hundreds to tens of thousands.\n");
+
+  bench::BenchReport report("trace");
+  report.add("total_readings", static_cast<double>(result.total_readings),
+             "count");
+  report.add("top_tag_share",
+             static_cast<double>(result.per_tag.front().readings) /
+                 static_cast<double>(result.total_readings),
+             "ratio");
+  report.add("fraction_read_over_205", trace::fraction_read_over(result, 205),
+             "ratio");
+  report.add("fraction_read_over_655", trace::fraction_read_over(result, 655),
+             "ratio");
+  report.add("conveyor_median_reads", conveyor_median, "count");
+  report.add("parked_median_reads", parked_median, "count");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

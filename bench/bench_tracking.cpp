@@ -9,7 +9,9 @@
 // companions stays ≈3.3 cm, nearly matching the companion-free case.
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "bench_report.hpp"
 #include "core/tagwatch.hpp"
 #include "llrp/sim_reader_client.hpp"
 #include "track/hologram.hpp"
@@ -58,7 +60,8 @@ CaseResult run_case(std::size_t stationary, bool rate_adaptive,
   llrp::SimReaderClient client(
       gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
       gen2::ReaderConfig{}, world, channel, antennas, seed + 1);
-  llrp::ReaderClient& reader = client;  // everything below sees only the transport interface
+  // Everything below sees only the transport interface.
+  llrp::ReaderClient& reader = client;
 
   core::TagwatchConfig cfg;
   cfg.mode = rate_adaptive ? core::ScheduleMode::kGreedyCover
@@ -98,7 +101,8 @@ CaseResult run_case(std::size_t stationary, bool rate_adaptive,
         train_motion->position(train_readings.front().timestamp);
     track::HologramTracker tracker(tcfg, antennas, plan);
     for (const auto& est : tracker.track(train_readings)) {
-      errors.add(util::distance(est.position, train_motion->position(est.time)));
+      errors.add(
+          util::distance(est.position, train_motion->position(est.time)));
       ++estimates;
     }
   }
@@ -117,19 +121,28 @@ int main() {
   std::printf("%-26s  %9s  %10s  %16s\n", "case", "IRR (Hz)", "estimates",
               "mean error (cm)");
   const std::uint64_t seed = 424242;
+  bench::BenchReport report("tracking", seed);
   for (const std::size_t companions : {0u, 2u, 4u}) {
     const CaseResult r = run_case(companions, false, seed);
     std::printf("(1+%zu) traditional         %9.1f  %10zu  %9.2f +- %.2f\n",
                 companions, r.irr_hz, r.accuracy.estimates,
                 r.accuracy.mean_error_m * 100.0,
                 r.accuracy.stddev_error_m * 100.0);
+    const std::string label =
+        "traditional_" + std::to_string(companions) + "_companions";
+    report.add(label + "_irr", r.irr_hz, "hz");
+    report.add(label + "_mean_error", r.accuracy.mean_error_m * 100.0, "cm");
   }
   const CaseResult ra = run_case(4, true, seed);
   std::printf("(1+4) rate-adaptive        %9.1f  %10zu  %9.2f +- %.2f\n",
               ra.irr_hz, ra.accuracy.estimates,
               ra.accuracy.mean_error_m * 100.0,
               ra.accuracy.stddev_error_m * 100.0);
+  report.add("rate_adaptive_4_companions_irr", ra.irr_hz, "hz");
+  report.add("rate_adaptive_4_companions_mean_error",
+             ra.accuracy.mean_error_m * 100.0, "cm");
   std::printf("\npaper: 1.8 / 6.0 / 10.6 cm traditional (68/30/21 Hz); "
               "3.34 cm rate-adaptive with 4 companions.\n");
+  std::printf("wrote %s\n", report.write().c_str());
   return 0;
 }

@@ -81,7 +81,8 @@ std::vector<track::TrackEstimate> run(bool rate_adaptive,
   llrp::SimReaderClient client(
       gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
       gen2::ReaderConfig{}, world, channel, antennas, 28);
-  llrp::ReaderClient& reader = client;  // everything below sees only the transport interface
+  // Everything below sees only the transport interface.
+  llrp::ReaderClient& reader = client;
 
   core::TagwatchConfig cfg;
   cfg.mode = rate_adaptive ? core::ScheduleMode::kGreedyCover

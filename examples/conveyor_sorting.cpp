@@ -66,7 +66,8 @@ double run(core::ScheduleMode mode, util::SimDuration duration,
   llrp::SimReaderClient client(
       gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
       gen2::ReaderConfig{}, scenario->world, channel, antennas, 7);
-  llrp::ReaderClient& reader = client;  // everything below sees only the transport interface
+  // Everything below sees only the transport interface.
+  llrp::ReaderClient& reader = client;
 
   core::TagwatchConfig config;
   config.mode = mode;

@@ -44,17 +44,19 @@ int main() {
                                     {2, {5, -5, 0}, 8.0},
                                     {3, {-5, 5, 0}, 8.0},
                                     {4, {5, 5, 0}, 8.0}};
-  llrp::SimReaderClient client(gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
-                               gen2::ReaderConfig{}, world, channel, antennas,
-                               /*seed=*/1);
-  llrp::ReaderClient& reader = client;  // the abstract transport the controller drives
+  llrp::SimReaderClient client(
+      gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
+      gen2::ReaderConfig{}, world, channel, antennas, /*seed=*/1);
+  // The abstract transport the controller drives.
+  llrp::ReaderClient& reader = client;
 
   // 3. Tagwatch: defaults from the paper (5 s Phase II, ξ=3, K=8, α=0.001).
   //    A metrics sink joins the built-in assessor/history sinks in the
   //    controller's reading pipeline.
   core::TagwatchConfig config;
   core::TagwatchController tagwatch(config, reader);
-  std::shared_ptr<core::PipelineMetrics> metrics = core::attach_metrics(tagwatch);
+  std::shared_ptr<core::PipelineMetrics> metrics =
+      core::attach_metrics(tagwatch);
 
   // 4. Run 10 cycles; the first few fall back to read-all while the
   //    immobility models learn, then Phase II narrows to the movers.

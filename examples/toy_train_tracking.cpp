@@ -58,7 +58,8 @@ Result run_case(std::size_t stationary, bool rate_adaptive) {
   llrp::SimReaderClient client(
       gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
       gen2::ReaderConfig{}, world, channel, antennas, 5);
-  llrp::ReaderClient& reader = client;  // everything below sees only the transport interface
+  // Everything below sees only the transport interface.
+  llrp::ReaderClient& reader = client;
 
   core::TagwatchConfig config;
   config.mode = rate_adaptive ? core::ScheduleMode::kGreedyCover
@@ -96,7 +97,8 @@ Result run_case(std::size_t stationary, bool rate_adaptive) {
         train_motion->position(train_readings.front().timestamp);
     track::HologramTracker tracker(tcfg, antennas, plan);
     for (const auto& est : tracker.track(train_readings)) {
-      errors.add(util::distance(est.position, train_motion->position(est.time)));
+      errors.add(
+          util::distance(est.position, train_motion->position(est.time)));
       ++estimates;
     }
   }

@@ -69,7 +69,8 @@ int main() {
   llrp::SimReaderClient client(
       gen2::LinkTiming(gen2::LinkParams::paper_testbed()),
       gen2::ReaderConfig{}, world, channel, antennas, 3);
-  llrp::ReaderClient& reader = client;  // everything below sees only the transport interface
+  // Everything below sees only the transport interface.
+  llrp::ReaderClient& reader = client;
 
   core::TagwatchConfig config;
   config.phase2_duration =
@@ -95,7 +96,8 @@ int main() {
     }
     previously_mobile = std::move(now_mobile);
     const bool delivery_seen =
-        std::find(r.scene.begin(), r.scene.end(), delivery_epc) != r.scene.end();
+        std::find(r.scene.begin(), r.scene.end(), delivery_epc) !=
+        r.scene.end();
     if (delivery_seen) events += "(delivery in range) ";
     std::printf("%6.0f  %-10s  %7zu  %s\n", util::to_seconds(reader.now()),
                 r.read_all_fallback ? "read-all" : "selective",

@@ -10,7 +10,8 @@ std::string Bitmask::to_string() const {
          ", " + std::to_string(mask.size()) + ")";
 }
 
-BitmaskIndex::BitmaskIndex(std::vector<util::Epc> scene) : scene_(std::move(scene)) {
+BitmaskIndex::BitmaskIndex(std::vector<util::Epc> scene)
+    : scene_(std::move(scene)) {
   if (scene_.empty()) throw std::invalid_argument("BitmaskIndex: empty scene");
   std::sort(scene_.begin(), scene_.end());
   scene_.erase(std::unique(scene_.begin(), scene_.end()), scene_.end());

@@ -19,7 +19,8 @@ std::unique_ptr<MotionDetector> make_detector(DetectorKind kind,
       return std::make_unique<DiffDetector>(true,
                                             config.phase_diff_threshold_rad);
     case DetectorKind::kRssDiff:
-      return std::make_unique<DiffDetector>(false, config.rss_diff_threshold_db);
+      return std::make_unique<DiffDetector>(false,
+                                            config.rss_diff_threshold_db);
     case DetectorKind::kHybridAnd:
       return std::make_unique<HybridDetector>(true, config);
     case DetectorKind::kHybridOr:
@@ -55,8 +56,9 @@ MotionVerdict MogDetector::classify(const rf::TagReading& reading) const {
 
 const ImmobilityModel* MogDetector::model_for(rf::AntennaId antenna,
                                               std::size_t channel) const {
-  const auto it = models_.find(Key{keying_.per_antenna ? antenna : rf::AntennaId{0},
-                                   keying_.per_channel ? channel : std::size_t{0}});
+  const auto it = models_.find(
+      Key{keying_.per_antenna ? antenna : rf::AntennaId{0},
+          keying_.per_channel ? channel : std::size_t{0}});
   return it == models_.end() ? nullptr : &it->second;
 }
 
@@ -70,7 +72,8 @@ MotionVerdict HybridDetector::fuse(MotionVerdict phase,
   const bool phase_moving = phase == MotionVerdict::kMoving;
   const bool rss_moving = rss == MotionVerdict::kMoving;
   const bool moving =
-      require_both_ ? (phase_moving && rss_moving) : (phase_moving || rss_moving);
+      require_both_ ? (phase_moving && rss_moving)
+                    : (phase_moving || rss_moving);
   return moving ? MotionVerdict::kMoving : MotionVerdict::kStationary;
 }
 
@@ -92,7 +95,8 @@ std::optional<MotionVerdict> DiffDetector::verdict_if_seen(
   const double v = value_of(r);
   const double dist = use_phase_ ? util::circular_distance(v, it->second)
                                  : std::abs(v - it->second);
-  return dist > threshold_ ? MotionVerdict::kMoving : MotionVerdict::kStationary;
+  return dist > threshold_ ? MotionVerdict::kMoving
+                           : MotionVerdict::kStationary;
 }
 
 MotionVerdict DiffDetector::update(const rf::TagReading& reading) {

@@ -69,8 +69,8 @@ class MotionDetector {
 };
 
 /// Creates a detector of the given kind.
-std::unique_ptr<MotionDetector> make_detector(DetectorKind kind,
-                                              const DetectorConfig& config = {});
+std::unique_ptr<MotionDetector> make_detector(
+    DetectorKind kind, const DetectorConfig& config = {});
 
 /// MoG detector (phase or RSS): one ImmobilityModel per (antenna, channel)
 /// under the default keying.

@@ -39,9 +39,8 @@ std::size_t HistoryDatabase::evict_older_than(util::SimTime before) {
   return evicted;
 }
 
-std::vector<rf::TagReading> HistoryDatabase::readings_in(const util::Epc& epc,
-                                                         util::SimTime from,
-                                                         util::SimTime to) const {
+std::vector<rf::TagReading> HistoryDatabase::readings_in(
+    const util::Epc& epc, util::SimTime from, util::SimTime to) const {
   std::vector<rf::TagReading> out;
   const TagHistory* h = find(epc);
   if (!h) return out;

@@ -1,6 +1,5 @@
 #include "core/pipeline.hpp"
 
-#include <chrono>
 #include <stdexcept>
 
 #include "core/assessor.hpp"
@@ -53,7 +52,7 @@ void ReadingPipeline::dispatch(const rf::TagReading& reading,
                                const ReadingContext& context) {
   ++dispatched_;
   for (Entry& entry : entries_) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const double t0 = clock_->now_seconds();
     bool accepted = false;
     try {
       accepted = entry.sink->on_reading(reading, context);
@@ -62,9 +61,7 @@ void ReadingPipeline::dispatch(const rf::TagReading& reading,
       // delivery continues to the remaining sinks and the cycle survives.
       ++entry.stats.exceptions;
     }
-    const auto t1 = std::chrono::steady_clock::now();
-    entry.stats.dispatch_seconds +=
-        std::chrono::duration<double>(t1 - t0).count();
+    entry.stats.dispatch_seconds += clock_->now_seconds() - t0;
     if (accepted) {
       ++entry.stats.delivered;
     } else {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "rf/measurement.hpp"
+#include "util/wall_clock.hpp"
 
 namespace tagwatch::core {
 
@@ -77,6 +78,11 @@ class ReadingPipeline {
   /// Appends a sink (delivery order == registration order).
   void add_sink(std::shared_ptr<ReadingSink> sink);
 
+  /// Host clock used for per-sink dispatch timing.  Defaults to the
+  /// steady_clock-backed system clock; tests inject a FakeWallClock to
+  /// make latency accounting exact.  `clock` must outlive the pipeline.
+  void set_wall_clock(util::WallClock& clock) { clock_ = &clock; }
+
   /// Replaces the sink with the same name, or appends if none matches.
   void set_sink(std::shared_ptr<ReadingSink> sink);
 
@@ -107,6 +113,7 @@ class ReadingPipeline {
   };
   std::vector<Entry> entries_;
   std::uint64_t dispatched_ = 0;
+  util::WallClock* clock_ = &util::WallClock::system();
 };
 
 // ------------------------------------------------------- built-in sinks

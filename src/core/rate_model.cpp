@@ -10,7 +10,8 @@ namespace tagwatch::core {
 InventoryCostModel::InventoryCostModel(double tau0_s, double taubar_s)
     : tau0_s_(tau0_s), taubar_s_(taubar_s) {
   if (tau0_s < 0.0 || taubar_s <= 0.0) {
-    throw std::invalid_argument("InventoryCostModel: need tau0 >= 0, taubar > 0");
+    throw std::invalid_argument(
+        "InventoryCostModel: need tau0 >= 0, taubar > 0");
   }
 }
 

@@ -24,12 +24,13 @@ Schedule GreedyCoverScheduler::naive_plan(
   return plan;
 }
 
-Schedule GreedyCoverScheduler::plan(const BitmaskIndex& index,
-                                    const util::IndicatorBitmap& targets) const {
+Schedule GreedyCoverScheduler::plan(
+    const BitmaskIndex& index, const util::IndicatorBitmap& targets) const {
   if (targets.none()) {
     throw std::invalid_argument("GreedyCoverScheduler::plan: no targets");
   }
-  const std::vector<BitmaskCandidate> candidates = index.candidates_for(targets);
+  const std::vector<BitmaskCandidate> candidates =
+      index.candidates_for(targets);
 
   Schedule plan;
   plan.covered_union = util::IndicatorBitmap(index.scene_size());

@@ -1,7 +1,6 @@
 #include "core/tagwatch.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <unordered_set>
 
@@ -29,6 +28,9 @@ TagwatchController::TagwatchController(TagwatchConfig config,
   // database; application and telemetry sinks append behind them.
   pipeline_.add_sink(std::make_shared<AssessorSink>(assessor_));
   pipeline_.add_sink(std::make_shared<HistorySink>(history_));
+  if (config_.wall_clock != nullptr) {
+    pipeline_.set_wall_clock(*config_.wall_clock);
+  }
 }
 
 void TagwatchController::set_read_listener(gen2::ReadCallback listener) {
@@ -36,7 +38,8 @@ void TagwatchController::set_read_listener(gen2::ReadCallback listener) {
     pipeline_.remove_sink("app");
     return;
   }
-  pipeline_.set_sink(std::make_shared<CallbackSink>("app", std::move(listener)));
+  pipeline_.set_sink(
+      std::make_shared<CallbackSink>("app", std::move(listener)));
 }
 
 void TagwatchController::deliver(const rf::TagReading& reading,
@@ -201,7 +204,8 @@ void TagwatchController::run_phase2_selected(const Schedule& schedule,
       llrp::AISpec ai;
       ai.antenna_indexes = {antenna};
       ai.session = config_.session;
-      ai.initial_q = q_for_population(std::max<std::size_t>(sel.covered_total, 1));
+      ai.initial_q =
+          q_for_population(std::max<std::size_t>(sel.covered_total, 1));
       ai.stop = llrp::AiSpecStopTrigger::after_rounds(1);
       llrp::C1G2Filter filter{gen2::MemBank::kEpc, sel.bitmask.pointer,
                               sel.bitmask.mask};
@@ -300,7 +304,10 @@ CycleReport TagwatchController::run_cycle() {
   std::sort(report.scene.begin(), report.scene.end());
 
   // ------------------------------------------- Assessment + scheduling
-  const auto wall_start = std::chrono::steady_clock::now();
+  util::WallClock& wall = config_.wall_clock != nullptr
+                              ? *config_.wall_clock
+                              : util::WallClock::system();
+  const double wall_start = wall.now_seconds();
 
   report.mobile = assessor_.mobile_tags(client_->now());
   std::unordered_set<util::Epc> target_set(report.mobile.begin(),
@@ -329,9 +336,7 @@ CycleReport TagwatchController::run_cycle() {
   }
   report.read_all_fallback = read_all;
 
-  const auto wall_end = std::chrono::steady_clock::now();
-  report.schedule_compute_ms =
-      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  report.schedule_compute_ms = (wall.now_seconds() - wall_start) * 1e3;
   if (config_.charge_compute_time) {
     // Put the host compute time on the reader clock so the inter-phase
     // gap reflects it, as the paper's Fig. 17 measurement does.

@@ -33,12 +33,13 @@
 #include "core/setcover.hpp"
 #include "llrp/reader_client.hpp"
 #include "util/rng.hpp"
+#include "util/wall_clock.hpp"
 
 namespace tagwatch::core {
 
 /// How Phase II schedules its reading.
 enum class ScheduleMode {
-  kGreedyCover,    ///< Tagwatch: greedy set-cover bitmasks (the paper's system).
+  kGreedyCover,    ///< Tagwatch: greedy set-cover bitmasks (the paper).
   kNaiveEpcMasks,  ///< Baseline: one full-EPC bitmask per target.
   kReadAll,        ///< Baseline: no selection — keep inventorying everything.
 };
@@ -80,6 +81,10 @@ struct TagwatchConfig {
   /// How the controller survives a faulty transport: retry/backoff policy,
   /// degraded read-all fallback, per-cycle watchdog budget.
   ResilienceConfig resilience;
+  /// Host clock for schedule-compute timing (Fig. 17) and, via the
+  /// pipeline, per-sink dispatch latency.  nullptr: the steady_clock-backed
+  /// util::WallClock::system().  Non-owning; must outlive the controller.
+  util::WallClock* wall_clock = nullptr;
 };
 
 /// What happened in one cycle.

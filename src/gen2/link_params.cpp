@@ -85,7 +85,8 @@ util::SimDuration LinkTiming::tag_bits(std::size_t payload_bits) const {
   const double bit_us =
       static_cast<double>(params_.miller_m) * 1000.0 / params_.blf_khz;
   const std::size_t preamble_bits = params_.trext ? 22 : 6;
-  return ceil_us(static_cast<double>(preamble_bits + payload_bits + 1) * bit_us);
+  return ceil_us(static_cast<double>(preamble_bits + payload_bits + 1) *
+                 bit_us);
 }
 
 util::SimDuration LinkTiming::select(std::size_t mask_bits) const noexcept {
@@ -105,7 +106,8 @@ util::SimDuration LinkTiming::collision_slot() const noexcept {
   return query_rep() + t1() + rn16() + t2();
 }
 
-util::SimDuration LinkTiming::success_slot(std::size_t epc_bits) const noexcept {
+util::SimDuration LinkTiming::success_slot(
+    std::size_t epc_bits) const noexcept {
   return query_rep() + t1() + rn16() + t2() + ack() + t1() +
          epc_reply(epc_bits) + t2();
 }

@@ -20,8 +20,8 @@ std::uint8_t clamp_q(double qfp) {
 
 }  // namespace
 
-Gen2Reader::Gen2Reader(LinkTiming timing, ReaderConfig config, sim::World& world,
-                       const rf::RfChannel& channel,
+Gen2Reader::Gen2Reader(LinkTiming timing, ReaderConfig config,
+                       sim::World& world, const rf::RfChannel& channel,
                        std::vector<rf::Antenna> antennas, util::Rng rng)
     : timing_(std::move(timing)), config_(config), world_(&world),
       channel_(&channel), antennas_(std::move(antennas)), rng_(rng) {
@@ -189,7 +189,8 @@ RoundStats Gen2Reader::run_inventory_round(const QueryCommand& query,
   std::uint8_t q = clamp_q(qfp);
   if (config_.policy == AntiCollisionPolicy::kIdealDfsa) {
     // Oracle: frame length equals the number of competing tags.
-    redraw_slots(parts, static_cast<std::uint32_t>(std::max<std::size_t>(parts.size(), 1)));
+    redraw_slots(parts, static_cast<std::uint32_t>(
+                            std::max<std::size_t>(parts.size(), 1)));
   } else {
     redraw_slots(parts, 1u << q);
   }

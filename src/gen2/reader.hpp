@@ -101,7 +101,9 @@ class Gen2Reader {
 
   /// Selects the active antenna port by index into the antenna list.
   void set_active_antenna(std::size_t index);
-  const rf::Antenna& active_antenna() const { return antennas_.at(antenna_idx_); }
+  const rf::Antenna& active_antenna() const {
+    return antennas_.at(antenna_idx_);
+  }
   std::size_t antenna_count() const noexcept { return antennas_.size(); }
 
   /// Current frequency channel (index into the channel plan).

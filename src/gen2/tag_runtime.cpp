@@ -31,14 +31,17 @@ void apply_op(FlagOp op, const SelectCommand& cmd, TagFlags& flags) {
     // "deassert" as set-to-B.
     case FlagOp::kAssert: f = InvFlag::kA; break;
     case FlagOp::kDeassert: f = InvFlag::kB; break;
-    case FlagOp::kToggle: f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA; break;
+    case FlagOp::kToggle:
+      f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA;
+      break;
     case FlagOp::kNone: break;
   }
 }
 
 }  // namespace
 
-void apply_select_action(const SelectCommand& cmd, bool matched, TagFlags& flags) {
+void apply_select_action(const SelectCommand& cmd, bool matched,
+                         TagFlags& flags) {
   // Truncation state: a matching Select with Truncate set arms a shortened
   // reply starting right after the compared bits; any other Select disarms
   // it (per spec, truncation applies only when the *last* Select matched

@@ -41,7 +41,8 @@ bool select_matches(const SelectCommand& cmd, const util::Epc& epc);
 /// Applies a Select command's action to one tag's flags, given whether the
 /// tag matched the mask (Gen2 Table 6.30 semantics for both SL and session
 /// targets).
-void apply_select_action(const SelectCommand& cmd, bool matched, TagFlags& flags);
+void apply_select_action(const SelectCommand& cmd, bool matched,
+                         TagFlags& flags);
 
 /// Flag store for the whole population.  Operator[] default-constructs the
 /// power-up state (SL deasserted, all sessions A), which is what a tag

@@ -74,14 +74,23 @@ double parse_double(const std::string& s, std::size_t line_no) {
 
 }  // namespace
 
-std::uint64_t rospec_digest(const ROSpec& spec) {
-  const std::string xml = to_xml(spec);
+namespace {
+
+std::uint64_t fnv1a(std::string_view bytes) {
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64-bit offset basis.
-  for (const char c : xml) {
+  for (const char c : bytes) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ull;
   }
   return h;
+}
+
+}  // namespace
+
+std::uint64_t rospec_digest(const ROSpec& spec) { return fnv1a(to_xml(spec)); }
+
+std::uint64_t journal_digest(const ReaderJournal& journal) {
+  return fnv1a(journal.to_csv());
 }
 
 namespace {

@@ -21,6 +21,14 @@ namespace tagwatch::llrp {
 /// reader operations the recorded controller did.
 std::uint64_t rospec_digest(const ROSpec& spec);
 
+class ReaderJournal;
+
+/// Stable 64-bit digest of a whole journal (FNV-1a over its canonical CSV
+/// form) — the quantity a record→replay round trip must preserve exactly.
+/// tagwatch_sim prints it next to every recording so two runs can be
+/// compared without diffing the traces.
+std::uint64_t journal_digest(const ReaderJournal& journal);
+
 /// One journaled client operation.
 struct JournalEntry {
   enum class Kind {

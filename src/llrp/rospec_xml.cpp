@@ -12,8 +12,8 @@ namespace {
 // ---------------------------------------------------------------- writing
 
 void write_filter(std::ostringstream& out, const C1G2Filter& f) {
-  out << "    <C1G2Filter bank=\"" << static_cast<int>(f.bank) << "\" pointer=\""
-      << f.pointer << "\"";
+  out << "    <C1G2Filter bank=\"" << static_cast<int>(f.bank)
+      << "\" pointer=\"" << f.pointer << "\"";
   if (f.truncate) out << " truncate=\"1\"";
   out << ">\n"
       << "      <Mask>" << f.mask.to_binary_string() << "</Mask>\n"
@@ -85,7 +85,8 @@ class XmlParser {
   std::string parse_name() {
     std::string name;
     while (pos_ < src_.size() &&
-           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_')) {
       name += take();
     }
     if (name.empty()) fail("expected a name");
@@ -162,20 +163,25 @@ std::string attr_or(const XmlNode& node, const std::string& key,
 C1G2Filter parse_filter(const XmlNode& node) {
   C1G2Filter f;
   f.bank = static_cast<gen2::MemBank>(std::stoi(attr_or(node, "bank", "1")));
-  f.pointer = static_cast<std::uint32_t>(std::stoul(attr_or(node, "pointer", "0")));
+  f.pointer =
+      static_cast<std::uint32_t>(std::stoul(attr_or(node, "pointer", "0")));
   f.truncate = attr_or(node, "truncate", "0") == "1";
   const XmlNode* mask = find_child(node, "Mask");
-  if (!mask) throw std::invalid_argument("ROSpec XML: C1G2Filter missing <Mask>");
+  if (!mask) {
+    throw std::invalid_argument("ROSpec XML: C1G2Filter missing <Mask>");
+  }
   f.mask = util::BitString::from_binary(mask->text);
   return f;
 }
 
 AISpec parse_aispec(const XmlNode& node) {
   AISpec spec;
-  spec.session = static_cast<gen2::Session>(std::stoi(attr_or(node, "session", "1")));
+  spec.session =
+      static_cast<gen2::Session>(std::stoi(attr_or(node, "session", "1")));
   spec.initial_q =
       static_cast<std::uint8_t>(std::stoi(attr_or(node, "initialQ", "4")));
-  if (const XmlNode* ants = find_child(node, "Antennas"); ants && !ants->text.empty()) {
+  if (const XmlNode* ants = find_child(node, "Antennas");
+      ants && !ants->text.empty()) {
     std::stringstream ss(ants->text);
     std::string item;
     while (std::getline(ss, item, ',')) {
@@ -194,7 +200,8 @@ AISpec parse_aispec(const XmlNode& node) {
       spec.stop = AiSpecStopTrigger::after_rounds(
           std::stoul(attr_or(*stop, "rounds", "1")));
     } else {
-      throw std::invalid_argument("ROSpec XML: unknown StopTrigger kind " + kind);
+      throw std::invalid_argument("ROSpec XML: unknown StopTrigger kind " +
+                                  kind);
     }
   }
   return spec;
@@ -205,7 +212,8 @@ AISpec parse_aispec(const XmlNode& node) {
 std::string to_xml(const ROSpec& spec) {
   std::ostringstream out;
   out << "<ROSpec id=\"" << spec.id << "\" priority=\""
-      << static_cast<int>(spec.priority) << "\" loops=\"" << spec.loops << "\">\n";
+      << static_cast<int>(spec.priority) << "\" loops=\"" << spec.loops
+      << "\">\n";
   for (const auto& ai : spec.ai_specs) write_aispec(out, ai);
   out << "</ROSpec>\n";
   return out.str();

@@ -26,7 +26,8 @@ RfObservation RfChannel::observe(const Antenna& antenna, util::Vec3 tag_pos,
       backscatter_channel(paths, wavelength, tag_phase_rad);
 
   RfObservation obs;
-  const double raw_phase = std::arg(h) + rng.normal(0.0, noise_.phase_noise_stddev_rad);
+  const double raw_phase =
+      std::arg(h) + rng.normal(0.0, noise_.phase_noise_stddev_rad);
   obs.phase_rad = util::wrap_to_2pi(quantize(util::wrap_to_2pi(raw_phase),
                                              noise_.phase_quantum_rad));
 
@@ -34,14 +35,17 @@ RfObservation RfChannel::observe(const Antenna& antenna, util::Vec3 tag_pos,
   // multipath gain |h|/|h_los| so constructive/destructive interference
   // shows up in the report, plus receiver noise and coarse quantization.
   const std::complex<double> h_los =
-      backscatter_channel(PathSet{paths.los_m, {}, {}}, wavelength, tag_phase_rad);
+      backscatter_channel(PathSet{paths.los_m, {}, {}}, wavelength,
+                          tag_phase_rad);
   const double multipath_gain_db =
-      20.0 * std::log10(std::max(std::abs(h) / std::max(std::abs(h_los), 1e-12), 1e-6));
-  const double raw_rssi = backscatter_rssi_dbm(paths.los_m, wavelength,
-                                               /*tx_power_dbm=*/32.5,
-                                               /*system_gain_db=*/antenna.gain_dbi - 18.0) +
-                          multipath_gain_db +
-                          rng.normal(0.0, noise_.rssi_noise_stddev_db);
+      20.0 *
+      std::log10(std::max(std::abs(h) / std::max(std::abs(h_los), 1e-12),
+                          1e-6));
+  const double raw_rssi =
+      backscatter_rssi_dbm(paths.los_m, wavelength,
+                           /*tx_power_dbm=*/32.5,
+                           /*system_gain_db=*/antenna.gain_dbi - 18.0) +
+      multipath_gain_db + rng.normal(0.0, noise_.rssi_noise_stddev_db);
   obs.rssi_dbm = quantize(raw_rssi, noise_.rssi_quantum_db);
   return obs;
 }

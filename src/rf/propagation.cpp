@@ -22,7 +22,8 @@ PathSet compute_paths(util::Vec3 reader, util::Vec3 tag,
   return paths;
 }
 
-std::complex<double> backscatter_channel(const PathSet& paths, double wavelength_m,
+std::complex<double> backscatter_channel(const PathSet& paths,
+                                         double wavelength_m,
                                          double tag_phase_rad) {
   if (wavelength_m <= 0.0) {
     throw std::invalid_argument("backscatter_channel: bad wavelength");
@@ -45,14 +46,17 @@ std::complex<double> backscatter_channel(const PathSet& paths, double wavelength
 
 int fresnel_zone(util::Vec3 reader, util::Vec3 tag, util::Vec3 q,
                  double wavelength_m) {
-  if (wavelength_m <= 0.0) throw std::invalid_argument("fresnel_zone: bad wavelength");
+  if (wavelength_m <= 0.0) {
+    throw std::invalid_argument("fresnel_zone: bad wavelength");
+  }
   const double detour = util::distance(reader, q) + util::distance(q, tag) -
                         util::distance(reader, tag);
-  return std::max(1, static_cast<int>(std::ceil(detour / (wavelength_m / 2.0))));
+  return std::max(
+      1, static_cast<int>(std::ceil(detour / (wavelength_m / 2.0))));
 }
 
-double backscatter_rssi_dbm(double d_m, double wavelength_m, double tx_power_dbm,
-                            double system_gain_db) {
+double backscatter_rssi_dbm(double d_m, double wavelength_m,
+                            double tx_power_dbm, double system_gain_db) {
   const double d = std::max(d_m, 0.05);
   // Radar-style two-way free-space loss: 40·log10(4πd/λ).
   const double one_way_db =

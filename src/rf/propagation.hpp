@@ -41,7 +41,8 @@ PathSet compute_paths(util::Vec3 reader, util::Vec3 tag,
 /// free-space two-way loss and each reflected path is further scaled by its
 /// reflection coefficient.  `tag_phase_rad` adds the tag's own backscatter
 /// phase offset θ_tag.
-std::complex<double> backscatter_channel(const PathSet& paths, double wavelength_m,
+std::complex<double> backscatter_channel(const PathSet& paths,
+                                         double wavelength_m,
                                          double tag_phase_rad);
 
 /// Fresnel-zone index of point `q` for the reader/tag pair: the smallest k

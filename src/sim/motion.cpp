@@ -5,11 +5,13 @@
 
 namespace tagwatch::sim {
 
-CircularTrack::CircularTrack(util::Vec3 center, double radius_m, double speed_mps,
-                             double phase0_rad)
+CircularTrack::CircularTrack(util::Vec3 center, double radius_m,
+                             double speed_mps, double phase0_rad)
     : center_(center), radius_m_(radius_m), speed_mps_(speed_mps),
       phase0_rad_(phase0_rad) {
-  if (radius_m <= 0.0) throw std::invalid_argument("CircularTrack: radius <= 0");
+  if (radius_m <= 0.0) {
+    throw std::invalid_argument("CircularTrack: radius <= 0");
+  }
 }
 
 util::Vec3 CircularTrack::position(util::SimTime t) const {
@@ -26,7 +28,9 @@ LinearConveyor::LinearConveyor(util::Vec3 origin, util::Vec3 velocity_mps,
   if (velocity_.norm() <= 0.0) {
     throw std::invalid_argument("LinearConveyor: zero velocity");
   }
-  if (travel_m <= 0.0) throw std::invalid_argument("LinearConveyor: travel <= 0");
+  if (travel_m <= 0.0) {
+    throw std::invalid_argument("LinearConveyor: travel <= 0");
+  }
 }
 
 util::SimTime LinearConveyor::end_time() const noexcept {
@@ -43,7 +47,9 @@ util::Vec3 LinearConveyor::position(util::SimTime t) const {
 RandomWaypoint::RandomWaypoint(util::Vec3 box_min, util::Vec3 box_max,
                                double speed_mps, util::SimDuration horizon,
                                util::Rng& rng, util::SimDuration pause) {
-  if (speed_mps <= 0.0) throw std::invalid_argument("RandomWaypoint: speed <= 0");
+  if (speed_mps <= 0.0) {
+    throw std::invalid_argument("RandomWaypoint: speed <= 0");
+  }
   const auto draw = [&rng, box_min, box_max] {
     return util::Vec3{rng.uniform(box_min.x, box_max.x),
                       rng.uniform(box_min.y, box_max.y),

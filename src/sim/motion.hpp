@@ -5,7 +5,7 @@
 //   * spinning turntable carrying mobile tags (§7.3)          — CircularTrack
 //   * conveyor transporting baggage through TrackPoint (§2.4) — LinearConveyor
 //   * people walking around the office (§7.1)                 — RandomWaypoint
-//   * "move a tag away by 1–5 cm" sensitivity test (§7.1)     — StepDisplacement
+//   * "move a tag away by 1–5 cm" test (§7.1)  — StepDisplacement
 #pragma once
 
 #include <memory>
@@ -120,7 +120,8 @@ class RandomWaypoint final : public MotionModel {
 /// stationary again — the §7.1 sensitivity experiment (1–5 cm moves).
 class StepDisplacement final : public MotionModel {
  public:
-  StepDisplacement(util::Vec3 origin, util::Vec3 offset, util::SimTime step_time)
+  StepDisplacement(util::Vec3 origin, util::Vec3 offset,
+                   util::SimTime step_time)
       : origin_(origin), offset_(offset), step_(step_time) {}
 
   util::Vec3 position(util::SimTime t) const override {

@@ -7,7 +7,8 @@ namespace tagwatch::sim {
 std::size_t World::add_tag(SimTag tag) {
   if (!tag.motion) throw std::invalid_argument("World::add_tag: null motion");
   if (index_.contains(tag.epc)) {
-    throw std::invalid_argument("World::add_tag: duplicate EPC " + tag.epc.to_hex());
+    throw std::invalid_argument("World::add_tag: duplicate EPC " +
+                                tag.epc.to_hex());
   }
   const std::size_t idx = tags_.size();
   index_.emplace(tag.epc, idx);

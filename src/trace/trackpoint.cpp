@@ -1,11 +1,10 @@
 #include "trace/trackpoint.hpp"
 
-#include "util/circular.hpp"
-
 #include <algorithm>
 
 #include "rf/channel.hpp"
 #include "sim/world.hpp"
+#include "util/circular.hpp"
 #include "util/rng.hpp"
 
 namespace tagwatch::trace {
@@ -141,7 +140,8 @@ TraceResult generate_trackpoint_trace(const TrackPointScenario& scenario) {
     query.sel = gen2::QuerySel::kAll;
     query.session = gen2::Session::kS1;
     query.target = target;
-    target = (target == gen2::InvFlag::kA) ? gen2::InvFlag::kB : gen2::InvFlag::kA;
+    target = (target == gen2::InvFlag::kA) ? gen2::InvFlag::kB
+                                           : gen2::InvFlag::kA;
     query.q = 4;
     reader.run_inventory_round(query, on_read);
   }
@@ -149,7 +149,8 @@ TraceResult generate_trackpoint_trace(const TrackPointScenario& scenario) {
   TraceResult result;
   result.total_readings = total;
   result.total_tags = counts.size();
-  result.peak_concurrent_movers = peak_concurrency(population, scenario.duration);
+  result.peak_concurrent_movers =
+      peak_concurrency(population, scenario.duration);
   result.readings_per_minute = std::move(per_minute);
   result.per_tag.reserve(counts.size());
   for (const auto& [epc, n] : counts) {

@@ -37,8 +37,9 @@ std::vector<HologramTracker::Pair> HologramTracker::make_pairs(
       const rf::TagReading* b = window[j];
       if (a->antenna == b->antenna) continue;      // need spatial diversity
       if (a->channel != b->channel) continue;      // phases only compare per λ
-      const auto dt = (a->timestamp > b->timestamp) ? a->timestamp - b->timestamp
-                                                    : b->timestamp - a->timestamp;
+      const auto dt = (a->timestamp > b->timestamp)
+                          ? a->timestamp - b->timestamp
+                          : b->timestamp - a->timestamp;
       if (dt > config_.pair_max_dt) continue;
       pairs.push_back({a, b, plan_.wavelength_m(a->channel)});
     }
@@ -54,13 +55,16 @@ double HologramTracker::score(const std::vector<Pair>& pairs, util::Vec3 p,
         p + velocity * util::to_seconds(pair.a->timestamp - t_ref);
     const util::Vec3 pb =
         p + velocity * util::to_seconds(pair.b->timestamp - t_ref);
-    const double da = util::distance(antenna_by_id(pair.a->antenna).position, pa);
-    const double db = util::distance(antenna_by_id(pair.b->antenna).position, pb);
+    const double da =
+        util::distance(antenna_by_id(pair.a->antenna).position, pa);
+    const double db =
+        util::distance(antenna_by_id(pair.b->antenna).position, pb);
     // Physical convention: the received backscatter phase is −4πd/λ (+ tag
     // offset), so the differential is −4π(da−db)/λ.  Getting the sign wrong
     // tracks the mirror image of the trajectory.
     const double predicted =
-        util::wrap_to_2pi(-4.0 * std::numbers::pi * (da - db) / pair.wavelength_m);
+        util::wrap_to_2pi(-4.0 * std::numbers::pi * (da - db) /
+                          pair.wavelength_m);
     const double measured =
         util::wrap_to_2pi(pair.a->phase_rad - pair.b->phase_rad);
     const double r = util::circular_distance(measured, predicted);
@@ -134,7 +138,8 @@ std::optional<TrackEstimate> HologramTracker::locate(
     double s = score(pairs, p, vel, t_ref);
     if (around && prior_radius > 0.0) {
       const double d = util::distance(p, *around) / prior_radius;
-      s += static_cast<double>(pairs.size()) * config_.continuity_prior_weight * d * d;
+      s += static_cast<double>(pairs.size()) *
+           config_.continuity_prior_weight * d * d;
     }
     return s;
   };

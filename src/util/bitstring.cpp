@@ -19,7 +19,8 @@ int hex_digit(char c) {
 BitString::BitString(std::size_t length)
     : size_(length), words_(word_count(length), 0) {}
 
-BitString::BitString(std::uint64_t value, std::size_t length) : BitString(length) {
+BitString::BitString(std::uint64_t value, std::size_t length)
+    : BitString(length) {
   if (length > 64) throw std::invalid_argument("BitString(value): length > 64");
   for (std::size_t i = 0; i < length; ++i) {
     set_bit(i, ((value >> (length - 1 - i)) & 1u) != 0);
@@ -120,7 +121,9 @@ std::strong_ordering BitString::operator<=>(const BitString& other) const {
   for (std::size_t i = 0; i < common; ++i) {
     const bool a = bit(i);
     const bool b = other.bit(i);
-    if (a != b) return a ? std::strong_ordering::greater : std::strong_ordering::less;
+    if (a != b) {
+      return a ? std::strong_ordering::greater : std::strong_ordering::less;
+    }
   }
   return size_ <=> other.size_;
 }

@@ -35,7 +35,8 @@ void CircularStats::add(double angle) noexcept {
     // Welford's algorithm on the circle: deltas are minimum-distance
     // residuals, and the running mean moves along the shortest arc.
     const double delta = circular_signed_diff(wrapped, running_mean_);
-    running_mean_ = wrap_to_2pi(running_mean_ + delta / static_cast<double>(n_));
+    running_mean_ =
+        wrap_to_2pi(running_mean_ + delta / static_cast<double>(n_));
     const double delta2 = circular_signed_diff(wrapped, running_mean_);
     m2_ += delta * delta2;
   }

@@ -24,7 +24,8 @@ KeyValueConfig KeyValueConfig::parse(std::string_view text) {
   while (pos <= text.size()) {
     const auto nl = text.find('\n', pos);
     const std::string_view line =
-        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
     pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
     ++line_no;
 
@@ -54,11 +55,13 @@ std::optional<std::string> KeyValueConfig::get(const std::string& key) const {
   return it->second;
 }
 
-std::string KeyValueConfig::get_or(const std::string& key, std::string fallback) const {
+std::string KeyValueConfig::get_or(const std::string& key,
+                                   std::string fallback) const {
   return get(key).value_or(std::move(fallback));
 }
 
-double KeyValueConfig::get_double_or(const std::string& key, double fallback) const {
+double KeyValueConfig::get_double_or(const std::string& key,
+                                     double fallback) const {
   const auto v = get(key);
   return v ? std::stod(*v) : fallback;
 }
@@ -77,7 +80,8 @@ bool KeyValueConfig::get_bool_or(const std::string& key, bool fallback) const {
   throw std::invalid_argument("KeyValueConfig: bad boolean for " + key);
 }
 
-std::vector<std::string> KeyValueConfig::get_list(const std::string& key) const {
+std::vector<std::string> KeyValueConfig::get_list(
+    const std::string& key) const {
   std::vector<std::string> out;
   const auto v = get(key);
   if (!v) return out;
@@ -85,7 +89,8 @@ std::vector<std::string> KeyValueConfig::get_list(const std::string& key) const 
   while (pos <= v->size()) {
     const auto comma = v->find(',', pos);
     const auto piece =
-        v->substr(pos, comma == std::string::npos ? v->size() - pos : comma - pos);
+        v->substr(pos, comma == std::string::npos ? v->size() - pos
+                                                  : comma - pos);
     const std::string item = trim(piece);
     if (!item.empty()) out.push_back(item);
     pos = comma == std::string::npos ? v->size() + 1 : comma + 1;

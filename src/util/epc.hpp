@@ -31,7 +31,9 @@ class Epc {
   static Epc from_serial(std::uint64_t serial, std::size_t length = kBits96);
 
   /// Parses a hex EPC string, e.g. "300833B2DDD9014000000001".
-  static Epc from_hex(std::string_view hex) { return Epc(BitString::from_hex(hex)); }
+  static Epc from_hex(std::string_view hex) {
+    return Epc(BitString::from_hex(hex));
+  }
 
   /// Draws a uniformly random EPC of `length` bits.
   static Epc random(Rng& rng, std::size_t length = kBits96);

@@ -25,7 +25,9 @@ void IndicatorBitmap::set(std::size_t i, bool value) {
 
 std::size_t IndicatorBitmap::count() const noexcept {
   std::size_t total = 0;
-  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  for (const auto w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
   return total;
 }
 
@@ -33,7 +35,8 @@ std::size_t IndicatorBitmap::and_count(const IndicatorBitmap& other) const {
   check_same_size(other);
   std::size_t total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+    total +=
+        static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
   }
   return total;
 }

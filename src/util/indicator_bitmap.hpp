@@ -42,7 +42,8 @@ class IndicatorBitmap {
   /// In-place union.  Precondition: same size.
   void merge(const IndicatorBitmap& other);
 
-  friend bool operator==(const IndicatorBitmap&, const IndicatorBitmap&) = default;
+  friend bool operator==(const IndicatorBitmap&,
+                         const IndicatorBitmap&) = default;
 
   /// Renders as '0'/'1' characters, tag 0 first (diagnostics).
   std::string to_string() const;
@@ -60,7 +61,8 @@ class IndicatorBitmap {
 
 template <>
 struct std::hash<tagwatch::util::IndicatorBitmap> {
-  std::size_t operator()(const tagwatch::util::IndicatorBitmap& b) const noexcept {
+  std::size_t operator()(
+      const tagwatch::util::IndicatorBitmap& b) const noexcept {
     return b.hash();
   }
 };

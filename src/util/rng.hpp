@@ -22,7 +22,8 @@ class Rng {
   /// length n.
   std::uint32_t below(std::uint32_t n) {
     return n <= 1 ? 0u
-                  : std::uniform_int_distribution<std::uint32_t>(0, n - 1)(engine_);
+                  : std::uniform_int_distribution<std::uint32_t>(
+                        0, n - 1)(engine_);
   }
 
   /// Uniform real in [lo, hi).

@@ -47,7 +47,9 @@ void RunningStats::merge(const RunningStats& other) noexcept {
 
 double percentile(std::vector<double> samples, double q) {
   if (samples.empty()) throw std::invalid_argument("percentile: empty sample");
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q out of range");
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("percentile: q out of range");
+  }
   std::sort(samples.begin(), samples.end());
   const double pos = q * static_cast<double>(samples.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -66,7 +68,8 @@ std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
   out.reserve(points);
   for (std::size_t i = 0; i < points; ++i) {
     // Evenly spaced indices that always include the final order statistic.
-    const std::size_t idx = (points == 1) ? n - 1 : (i * (n - 1)) / (points - 1);
+    const std::size_t idx =
+        (points == 1) ? n - 1 : (i * (n - 1)) / (points - 1);
     out.push_back({samples[idx],
                    static_cast<double>(idx + 1) / static_cast<double>(n)});
   }
@@ -82,9 +85,10 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 
 void Histogram::add(double x) noexcept {
   const double t = (x - lo_) / (hi_ - lo_);
-  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  auto bin =
+      static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(bin)];
   ++total_;
 }

@@ -1,0 +1,28 @@
+#include "util/wall_clock.hpp"
+
+#include <chrono>
+
+namespace tagwatch::util {
+
+namespace {
+
+/// The one place in the library that reads a raw std::chrono clock; it
+/// lives outside the journaled directories on purpose (see
+/// docs/STATIC_ANALYSIS.md, rule `determinism`).
+class SystemWallClock final : public WallClock {
+ public:
+  double now_seconds() override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+WallClock& WallClock::system() {
+  static SystemWallClock clock;
+  return clock;
+}
+
+}  // namespace tagwatch::util

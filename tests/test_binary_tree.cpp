@@ -87,7 +87,8 @@ TEST(BinaryTree, CompetitiveWithQAdaptive) {
     cfg.policy = policy;
     Gen2Reader reader(LinkTiming(LinkParams::max_throughput()), cfg, world,
                       channel, {{1, {0, 0, 2}, 8.0}}, util::Rng(89));
-    const RoundStats stats = reader.run_inventory_round(QueryCommand{}, nullptr);
+    const RoundStats stats =
+      reader.run_inventory_round(QueryCommand{}, nullptr);
     EXPECT_EQ(stats.success_slots, 30u);
     return util::to_seconds(stats.duration);
   };
@@ -110,13 +111,16 @@ TEST(BinaryTree, FlipsSessionFlagLikeAloha) {
   QueryCommand q;
   q.target = InvFlag::kA;
   std::size_t first = 0, second = 0;
-  fx.reader->run_inventory_round(q, [&first](const rf::TagReading&) { ++first; });
-  fx.reader->run_inventory_round(q, [&second](const rf::TagReading&) { ++second; });
+  fx.reader->run_inventory_round(
+      q, [&first](const rf::TagReading&) { ++first; });
+  fx.reader->run_inventory_round(
+      q, [&second](const rf::TagReading&) { ++second; });
   EXPECT_EQ(first, 8u);
   EXPECT_EQ(second, 0u);  // all flags flipped to B
   q.target = InvFlag::kB;
   std::size_t third = 0;
-  fx.reader->run_inventory_round(q, [&third](const rf::TagReading&) { ++third; });
+  fx.reader->run_inventory_round(
+      q, [&third](const rf::TagReading&) { ++third; });
   EXPECT_EQ(third, 8u);
 }
 

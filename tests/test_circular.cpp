@@ -75,7 +75,9 @@ TEST(CircularStats, MeanOfClusteredSamples) {
 TEST(CircularStats, MeanAcrossWrapBoundary) {
   CircularStats stats;
   // Cluster straddling 0: naive mean would be ~π, circular mean ~0.
-  for (const double v : {kTwoPi - 0.05, 0.05, kTwoPi - 0.03, 0.03}) stats.add(v);
+  for (const double v : {kTwoPi - 0.05, 0.05, kTwoPi - 0.03, 0.03}) {
+    stats.add(v);
+  }
   EXPECT_LT(circular_distance(stats.mean(), 0.0), 0.02);
   EXPECT_LT(stats.stddev(), 0.1);
 }

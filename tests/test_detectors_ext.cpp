@@ -104,7 +104,8 @@ TEST_F(HybridFixture, UpdateTrainsBothBranches) {
   util::Rng rng(145);
   MotionVerdict last = MotionVerdict::kMoving;
   for (int i = 0; i < 60; ++i) {
-    last = d->update(reading(rng.normal(1.0, 0.05), -60.0 + rng.normal(0.0, 0.4)));
+    last = d->update(
+        reading(rng.normal(1.0, 0.05), -60.0 + rng.normal(0.0, 0.4)));
   }
   EXPECT_EQ(last, MotionVerdict::kStationary);
 }

@@ -85,7 +85,8 @@ TEST(RospecXmlRobustness, MalformedInputsThrowQuickly) {
       "<ROSpec id=\"1\"><AISpec></ROSpec>",
       "<ROSpec></ROSpec>trailing",
       "<ROSpec id=\"1\"><AISpec><C1G2Filter bank=\"1\"/></AISpec></ROSpec>",
-      "<ROSpec id=\"1\"><AISpec><StopTrigger kind=\"weird\"/></AISpec></ROSpec>",
+      "<ROSpec id=\"1\"><AISpec><StopTrigger kind=\"weird\"/>"
+      "</AISpec></ROSpec>",
       "plain text",
   };
   for (const auto& input : bad) {

@@ -41,8 +41,10 @@ INSTANTIATE_TEST_SUITE_P(
         // Action 000: matching assert, else deassert.
         ActionCase{SelectAction::kAssertMatchedDeassertElse, true, false, true},
         ActionCase{SelectAction::kAssertMatchedDeassertElse, true, true, true},
-        ActionCase{SelectAction::kAssertMatchedDeassertElse, false, true, false},
-        ActionCase{SelectAction::kAssertMatchedDeassertElse, false, false, false},
+        ActionCase{SelectAction::kAssertMatchedDeassertElse, false, true,
+                   false},
+        ActionCase{SelectAction::kAssertMatchedDeassertElse, false, false,
+                   false},
         // Action 001: matching assert, else nothing.
         ActionCase{SelectAction::kAssertMatchedOnly, true, false, true},
         ActionCase{SelectAction::kAssertMatchedOnly, false, true, true},
@@ -56,7 +58,8 @@ INSTANTIATE_TEST_SUITE_P(
         ActionCase{SelectAction::kToggleMatched, false, false, false},
         // Action 100: matching deassert, else assert.
         ActionCase{SelectAction::kDeassertMatchedAssertElse, true, true, false},
-        ActionCase{SelectAction::kDeassertMatchedAssertElse, false, false, true},
+        ActionCase{SelectAction::kDeassertMatchedAssertElse, false, false,
+                   true},
         // Action 101: matching deassert, else nothing.
         ActionCase{SelectAction::kDeassertMatchedOnly, true, true, false},
         ActionCase{SelectAction::kDeassertMatchedOnly, false, true, true},
@@ -96,11 +99,14 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         SessionCase{SelectAction::kAssertMatchedDeassertElse, true, InvFlag::kB,
                     InvFlag::kA},
-        SessionCase{SelectAction::kAssertMatchedDeassertElse, false, InvFlag::kA,
+        SessionCase{SelectAction::kAssertMatchedDeassertElse, false,
+                    InvFlag::kA, InvFlag::kB},
+        SessionCase{SelectAction::kToggleMatched, true, InvFlag::kA,
                     InvFlag::kB},
-        SessionCase{SelectAction::kToggleMatched, true, InvFlag::kA, InvFlag::kB},
-        SessionCase{SelectAction::kToggleMatched, true, InvFlag::kB, InvFlag::kA},
-        SessionCase{SelectAction::kToggleMatched, false, InvFlag::kB, InvFlag::kB},
+        SessionCase{SelectAction::kToggleMatched, true, InvFlag::kB,
+                    InvFlag::kA},
+        SessionCase{SelectAction::kToggleMatched, false, InvFlag::kB,
+                    InvFlag::kB},
         SessionCase{SelectAction::kDeassertMatchedOnly, true, InvFlag::kA,
                     InvFlag::kB},
         SessionCase{SelectAction::kAssertUnmatchedOnly, false, InvFlag::kB,

@@ -62,7 +62,8 @@ TEST(HistoryDatabase, ReadingsInWindow) {
   HistoryDatabase db;
   for (int i = 0; i < 10; ++i) db.record(reading(1, util::msec(i * 100)));
   const auto window =
-      db.readings_in(util::Epc::from_serial(1), util::msec(250), util::msec(650));
+      db.readings_in(util::Epc::from_serial(1), util::msec(250),
+                     util::msec(650));
   ASSERT_EQ(window.size(), 4u);  // 300, 400, 500, 600 ms
   EXPECT_EQ(window.front().timestamp, util::msec(300));
   EXPECT_EQ(window.back().timestamp, util::msec(600));

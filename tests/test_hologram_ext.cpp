@@ -17,11 +17,10 @@ std::vector<rf::Antenna> four_antennas() {
 }
 
 /// Readings of a tag moving at constant velocity, one antenna per step.
-std::vector<rf::TagReading> moving_readings(util::Vec3 start, util::Vec3 vel,
-                                            const std::vector<rf::Antenna>& ants,
-                                            const rf::ChannelPlan& plan,
-                                            int count, int step_ms,
-                                            double noise_sd, util::Rng& rng) {
+std::vector<rf::TagReading> moving_readings(
+    util::Vec3 start, util::Vec3 vel, const std::vector<rf::Antenna>& ants,
+    const rf::ChannelPlan& plan, int count, int step_ms, double noise_sd,
+    util::Rng& rng) {
   std::vector<rf::TagReading> out;
   for (int i = 0; i < count; ++i) {
     const util::SimTime t = util::msec(i * step_ms);

@@ -173,7 +173,8 @@ TEST(TagwatchIntegration, StateTransitionIsReassessed) {
     const CycleReport r = ctl.run_cycle();
     const bool stepped = ctl.now() > util::sec(30);
     const bool is_target =
-        std::find(r.targets.begin(), r.targets.end(), stepper) != r.targets.end();
+        std::find(r.targets.begin(), r.targets.end(), stepper) !=
+        r.targets.end();
     if (stepped && is_target) {
       promoted_after_step = true;
       break;

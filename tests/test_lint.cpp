@@ -1,0 +1,421 @@
+// The lint rule engine: every rule must trigger on its negative fixture
+// and stay quiet on the conforming one, the allow() hatch must suppress
+// (and be budgeted), and the real tree must lint clean — which is what
+// turns replay determinism from a convention into a machine-checked
+// invariant.
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tagwatch::lint {
+namespace {
+
+LintReport run_one(const std::string& path, const std::string& content) {
+  const RuleEngine engine;
+  return engine.run({{path, content}});
+}
+
+std::vector<std::string> rules_of(const LintReport& report) {
+  std::vector<std::string> rules;
+  for (const Finding& f : report.findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool has_rule(const LintReport& report, const std::string& rule) {
+  const auto rules = rules_of(report);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// ------------------------------------------------------- determinism (D)
+
+TEST(LintDeterminism, FlagsWallClockInJournaledPath) {
+  const LintReport r = run_one(
+      "src/core/bad.cpp",
+      "#include <chrono>\n"
+      "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "determinism");
+  EXPECT_EQ(r.findings[0].line, 2u);
+}
+
+TEST(LintDeterminism, FlagsEveryForbiddenClockAndEntropySource) {
+  for (const char* bad :
+       {"std::chrono::system_clock::now()", "std::random_device rd",
+        "std::chrono::high_resolution_clock::now()", "time(nullptr)",
+        "std::rand()", "srand(7)", "getenv(\"HOME\")", "clock()"}) {
+    SCOPED_TRACE(bad);
+    const LintReport r =
+        run_one("src/gen2/bad.cpp", std::string("auto v = ") + bad + ";\n");
+    EXPECT_TRUE(has_rule(r, "determinism"));
+  }
+}
+
+TEST(LintDeterminism, FlagsUnseededMersenneTwister) {
+  EXPECT_TRUE(has_rule(run_one("src/sim/bad.cpp", "std::mt19937 gen;\n"),
+                       "determinism"));
+  EXPECT_TRUE(has_rule(run_one("src/sim/bad.cpp", "std::mt19937_64 gen{};\n"),
+                       "determinism"));
+  EXPECT_TRUE(has_rule(run_one("src/sim/bad.cpp", "std::mt19937 gen();\n"),
+                       "determinism"));
+}
+
+TEST(LintDeterminism, SeededEngineAndReferencesPass) {
+  EXPECT_TRUE(run_one("src/sim/ok.cpp", "std::mt19937 gen(seed);\n")
+                  .findings.empty());
+  EXPECT_TRUE(run_one("src/sim/ok.cpp", "std::mt19937_64 gen{0x5eed};\n")
+                  .findings.empty());
+  EXPECT_TRUE(run_one("src/sim/ok.cpp", "void f(std::mt19937& gen);\n")
+                  .findings.empty());
+}
+
+TEST(LintDeterminism, OnlyJournaledDirectoriesAreInScope) {
+  const std::string wall = "auto t = std::chrono::steady_clock::now();\n";
+  // util implements the WallClock seam; tools/tests/bench run off-line.
+  for (const char* path : {"src/util/wall_clock.cpp", "tools/cli.cpp",
+                           "tests/test_x.cpp", "bench/bench_x.cpp"}) {
+    SCOPED_TRACE(path);
+    EXPECT_TRUE(run_one(path, wall).findings.empty());
+  }
+  for (const char* path :
+       {"src/core/a.cpp", "src/sim/a.cpp", "src/llrp/a.cpp", "src/gen2/a.cpp",
+        "src/rf/a.cpp"}) {
+    SCOPED_TRACE(path);
+    EXPECT_TRUE(has_rule(run_one(path, wall), "determinism"));
+  }
+}
+
+TEST(LintDeterminism, WordBoundariesAndCommentsDoNotTrigger) {
+  // advance_time( and clock_-> are not the forbidden identifiers, and
+  // prose in comments/strings never counts.
+  const LintReport r = run_one(
+      "src/core/ok.cpp",
+      "// steady_clock would be wrong here\n"
+      "const char* s = \"system_clock\";\n"
+      "void advance_time(int);\n"
+      "auto v = clock_->now_seconds();\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ----------------------------------------------------- header hygiene (H)
+
+TEST(LintHeaderHygiene, MissingPragmaOnceIsFlagged) {
+  const LintReport r =
+      run_one("src/util/bad.hpp", "#include <vector>\nint x;\n");
+  EXPECT_TRUE(has_rule(r, "header-pragma-once"));
+}
+
+TEST(LintHeaderHygiene, CommentBeforePragmaOnceIsFine) {
+  const LintReport r = run_one("src/util/ok.hpp",
+                               "// License header prose.\n"
+                               "#pragma once\n"
+                               "#include <vector>\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintHeaderHygiene, SourcesNeedNoPragmaOnce) {
+  EXPECT_TRUE(run_one("src/util/ok.cpp", "int x;\n").findings.empty());
+}
+
+TEST(LintHeaderHygiene, UsingNamespaceInHeaderIsFlagged) {
+  const LintReport r = run_one("src/util/bad.hpp",
+                               "#pragma once\nusing namespace std;\n");
+  EXPECT_TRUE(has_rule(r, "header-using-namespace"));
+}
+
+TEST(LintHeaderHygiene, UsingDeclarationAndCppFilesPass) {
+  EXPECT_TRUE(run_one("src/util/ok.hpp",
+                      "#pragma once\nusing std::vector;\n")
+                  .findings.empty());
+  EXPECT_TRUE(
+      run_one("tools/ok.cpp", "using namespace tagwatch;\n").findings.empty());
+}
+
+TEST(LintIncludeOrder, SystemAfterProjectIsFlagged) {
+  const LintReport r = run_one("src/core/bad.cpp",
+                               "#include \"core/other.hpp\"\n"
+                               "#include <vector>\n");
+  ASSERT_TRUE(has_rule(r, "include-order"));
+  EXPECT_EQ(r.findings[0].line, 2u);
+}
+
+TEST(LintIncludeOrder, OwnHeaderThenSystemThenProjectPasses) {
+  const LintReport r = run_one("src/core/foo.cpp",
+                               "#include \"core/foo.hpp\"\n"
+                               "#include <vector>\n"
+                               "#include \"util/stats.hpp\"\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintIncludeOrder, HeaderUnderTestLeadsInTestFiles) {
+  const LintReport r = run_one("tests/test_foo.cpp",
+                               "#include \"util/foo.hpp\"\n"
+                               "#include <gtest/gtest.h>\n"
+                               "#include \"util/other.hpp\"\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// --------------------------------------------------- pipeline safety (P)
+
+TEST(LintPipelineReentrancy, ExecuteInsideSinkHookIsFlagged) {
+  const LintReport r = run_one(
+      "src/core/bad_sink.cpp",
+      "bool BadSink::on_reading(const rf::TagReading& r,\n"
+      "                         const ReadingContext&) {\n"
+      "  client_->execute(spec);\n"
+      "  return true;\n"
+      "}\n");
+  ASSERT_TRUE(has_rule(r, "pipeline-reentrancy"));
+  EXPECT_EQ(r.findings[0].line, 3u);
+}
+
+TEST(LintPipelineReentrancy, CycleEndHookIsCoveredToo) {
+  const LintReport r = run_one(
+      "tests/bad_sink.cpp",
+      "void BadSink::on_cycle_end(const CycleReport&) {\n"
+      "  reader.execute(respec);\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(r, "pipeline-reentrancy"));
+}
+
+TEST(LintPipelineReentrancy, ExecuteOutsideHooksAndDeclarationsPass) {
+  const LintReport r = run_one(
+      "src/core/ok.cpp",
+      "bool on_reading(const rf::TagReading&, const ReadingContext&) "
+      "override;\n"
+      "void run() { client_->execute(spec); }\n"
+      "bool OkSink::on_reading(const rf::TagReading&,\n"
+      "                        const ReadingContext&) {\n"
+      "  return executor_.enqueue(r);\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// -------------------------------------------------- journal discipline (J)
+
+/// A minimal, mutually-consistent journal table set.
+std::vector<SourceFile> journal_fixture() {
+  return {
+      {"src/llrp/reader_client.hpp",
+       "#pragma once\n"
+       "enum class ReaderErrorKind {\n"
+       "  kTimeout,\n"
+       "  kDisconnected,\n"
+       "};\n"},
+      {"src/llrp/reader_client.cpp",
+       "#include \"llrp/reader_client.hpp\"\n"
+       "const char* to_string(ReaderErrorKind kind) {\n"
+       "  switch (kind) {\n"
+       "    case ReaderErrorKind::kTimeout: return \"timeout\";\n"
+       "    case ReaderErrorKind::kDisconnected: return \"disconnected\";\n"
+       "  }\n"
+       "  return \"unknown\";\n"
+       "}\n"
+       "ReaderErrorKind reader_error_kind_from_string(std::string_view n) {\n"
+       "  if (n == \"timeout\") return ReaderErrorKind::kTimeout;\n"
+       "  return ReaderErrorKind::kDisconnected;\n"
+       "}\n"},
+      {"src/core/resilience.hpp",
+       "#pragma once\n"
+       "void count_fault(llrp::ReaderErrorKind kind) {\n"
+       "  switch (kind) {\n"
+       "    case llrp::ReaderErrorKind::kTimeout: break;\n"
+       "    case llrp::ReaderErrorKind::kDisconnected: break;\n"
+       "  }\n"
+       "}\n"},
+      {"src/llrp/reader_journal.cpp",
+       "#include \"llrp/reader_journal.hpp\"\n"
+       "void serialize() { out << \"E,\" << x; out << \"R,\" << y; }\n"
+       "void parse() { if (f[0] == \"E\") {} else if (f[0] == \"R\") {} }\n"},
+  };
+}
+
+TEST(LintJournalDiscipline, ConsistentTablesPass) {
+  const RuleEngine engine;
+  EXPECT_TRUE(engine.run(journal_fixture()).findings.empty());
+}
+
+TEST(LintJournalDiscipline, NewEnumeratorMustReachEveryTable) {
+  auto files = journal_fixture();
+  // Add a kind to the enum only — serializer, parser, and the health
+  // digest all go stale at once.
+  files[0].content =
+      "#pragma once\n"
+      "enum class ReaderErrorKind {\n"
+      "  kTimeout,\n"
+      "  kDisconnected,\n"
+      "  kBrownout,\n"
+      "};\n";
+  const RuleEngine engine;
+  const LintReport r = engine.run(files);
+  ASSERT_EQ(r.findings.size(), 3u);
+  for (const Finding& f : r.findings) {
+    EXPECT_EQ(f.rule, "journal-discipline");
+    EXPECT_NE(f.message.find("kBrownout"), std::string::npos);
+  }
+}
+
+TEST(LintJournalDiscipline, SerializedTagMustBeParsed) {
+  auto files = journal_fixture();
+  files[3].content =
+      "#include \"llrp/reader_journal.hpp\"\n"
+      "void serialize() { out << \"E,\" << x; out << \"Z,\" << y; }\n"
+      "void parse() { if (f[0] == \"E\") {} }\n";
+  const RuleEngine engine;
+  const LintReport r = engine.run(files);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "journal-discipline");
+  EXPECT_NE(r.findings[0].message.find("'Z'"), std::string::npos);
+}
+
+TEST(LintJournalDiscipline, ParsedTagMustBeSerialized) {
+  auto files = journal_fixture();
+  files[3].content =
+      "#include \"llrp/reader_journal.hpp\"\n"
+      "void serialize() { out << \"E,\" << x; }\n"
+      "void parse() { if (f[0] == \"E\") {} else if (f[0] == \"Q\") {} }\n";
+  const RuleEngine engine;
+  const LintReport r = engine.run(files);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_NE(r.findings[0].message.find("'Q'"), std::string::npos);
+}
+
+// ------------------------------------------------------- allow() hatch
+
+TEST(LintAllow, SameLineAnnotationSuppresses) {
+  const LintReport r = run_one(
+      "src/core/waiver.cpp",
+      "auto t = std::chrono::steady_clock::now();"
+      "  // tagwatch-lint: allow(determinism)\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressions_used, 1u);
+  EXPECT_EQ(r.allow_annotations, 1u);
+}
+
+TEST(LintAllow, AnnotationOnLineAboveSuppresses) {
+  const LintReport r = run_one(
+      "src/core/waiver.cpp",
+      "// Justification prose.  tagwatch-lint: allow(determinism)\n"
+      "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressions_used, 1u);
+}
+
+TEST(LintAllow, WrongRuleNameDoesNotSuppress) {
+  const LintReport r = run_one(
+      "src/core/waiver.cpp",
+      "auto t = std::chrono::steady_clock::now();"
+      "  // tagwatch-lint: allow(include-order)\n");
+  EXPECT_TRUE(has_rule(r, "determinism"));
+  EXPECT_EQ(r.suppressions_used, 0u);
+}
+
+TEST(LintAllow, UnknownRuleNamesAreNotAnnotations) {
+  // Documentation mentioning the syntax must not eat the budget.
+  const LintReport r = run_one(
+      "docs_like.cpp", "// write tagwatch-lint: allow(<rule>) to waive\n");
+  EXPECT_EQ(r.allow_annotations, 0u);
+}
+
+// ------------------------------------------------------------- engine
+
+TEST(LintEngine, RuleNamesAreStable) {
+  const auto& names = RuleEngine::rule_names();
+  const std::vector<std::string> expected = {
+      "determinism",   "header-pragma-once",  "header-using-namespace",
+      "include-order", "pipeline-reentrancy", "journal-discipline"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(LintEngine, FindingsAreSortedByFileLineRule) {
+  const RuleEngine engine;
+  const LintReport r = engine.run({
+      {"src/core/z.cpp", "#include \"a.hpp\"\n#include <b>\n"},
+      {"src/core/a.cpp",
+       "auto t = std::chrono::steady_clock::now();\n"
+       "auto u = std::chrono::steady_clock::now();\n"},
+  });
+  ASSERT_EQ(r.findings.size(), 3u);
+  EXPECT_EQ(r.findings[0].file, "src/core/a.cpp");
+  EXPECT_EQ(r.findings[0].line, 1u);
+  EXPECT_EQ(r.findings[1].line, 2u);
+  EXPECT_EQ(r.findings[2].file, "src/core/z.cpp");
+}
+
+// ------------------------------------------------------ tree self-check
+
+#ifdef TAGWATCH_SOURCE_DIR
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The linter's own view of the tree, mirroring tools/tagwatch_lint.cpp.
+std::vector<SourceFile> load_tree() {
+  namespace fs = std::filesystem;
+  const fs::path root = TAGWATCH_SOURCE_DIR;
+  std::vector<fs::path> paths;
+  for (const char* dir : {"src", "tests", "tools", "examples", "bench"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      const std::string ext = entry.path().extension().string();
+      if (entry.is_regular_file() && (ext == ".cpp" || ext == ".hpp")) {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    files.push_back({fs::relative(p, root).generic_string(), slurp(p)});
+  }
+  return files;
+}
+
+TEST(LintSelfCheck, RealTreeLintsCleanWithinSuppressionBudget) {
+  const std::vector<SourceFile> files = load_tree();
+  ASSERT_GT(files.size(), 100u) << "tree walk found suspiciously few files";
+  const RuleEngine engine;
+  const LintReport r = engine.run(files);
+  for (const Finding& f : r.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+  // The acceptance budget: at most 3 allow() waivers in the whole tree.
+  EXPECT_LE(r.allow_annotations, 3u);
+}
+
+TEST(LintSelfCheck, JournalTablesArePresentInRealTree) {
+  // Guards the self-check itself: if these files moved, the J rule would
+  // silently stop checking anything.
+  const std::vector<SourceFile> files = load_tree();
+  auto present = [&files](const char* suffix) {
+    for (const SourceFile& f : files) {
+      if (f.path.size() >= std::string(suffix).size() &&
+          f.path.rfind(suffix) == f.path.size() - std::string(suffix).size()) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(present("llrp/reader_client.hpp"));
+  EXPECT_TRUE(present("llrp/reader_client.cpp"));
+  EXPECT_TRUE(present("core/resilience.hpp"));
+  EXPECT_TRUE(present("llrp/reader_journal.cpp"));
+}
+
+#endif  // TAGWATCH_SOURCE_DIR
+
+}  // namespace
+}  // namespace tagwatch::lint

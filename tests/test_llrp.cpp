@@ -77,8 +77,9 @@ TEST(RospecXml, ParsesHandWrittenDocument) {
 TEST(RospecXml, RejectsMalformedInput) {
   EXPECT_THROW(rospec_from_xml("<NotROSpec/>"), std::invalid_argument);
   EXPECT_THROW(rospec_from_xml("<ROSpec id=\"1\">"), std::invalid_argument);
-  EXPECT_THROW(rospec_from_xml("<ROSpec><AISpec><C1G2Filter/></AISpec></ROSpec>"),
-               std::invalid_argument);
+  EXPECT_THROW(
+      rospec_from_xml("<ROSpec><AISpec><C1G2Filter/></AISpec></ROSpec>"),
+      std::invalid_argument);
   EXPECT_THROW(rospec_from_xml("<ROSpec></Other>"), std::invalid_argument);
 }
 
@@ -151,8 +152,10 @@ TEST(SimReaderClient, ConjunctiveFiltersIntersect) {
   ROSpec spec;
   AISpec ai;
   // serial bit95 == 1 AND bit94 == 1 → serials ≡ 3 (mod 4): 3,7,11,15.
-  ai.filters.push_back({gen2::MemBank::kEpc, 95, util::BitString::from_binary("1")});
-  ai.filters.push_back({gen2::MemBank::kEpc, 94, util::BitString::from_binary("1")});
+  ai.filters.push_back(
+      {gen2::MemBank::kEpc, 95, util::BitString::from_binary("1")});
+  ai.filters.push_back(
+      {gen2::MemBank::kEpc, 94, util::BitString::from_binary("1")});
   ai.stop = AiSpecStopTrigger::after_rounds(1);
   spec.ai_specs.push_back(ai);
   const auto report = fx.client->execute(spec).report;
@@ -188,7 +191,8 @@ TEST(SimReaderClient, LoopsRepeatAiSpecList) {
 TEST(SimReaderClient, ListenerStreamsEveryReading) {
   ClientFixture fx(6);
   std::size_t streamed = 0;
-  fx.client->set_read_listener([&streamed](const rf::TagReading&) { ++streamed; });
+  fx.client->set_read_listener(
+      [&streamed](const rf::TagReading&) { ++streamed; });
   ROSpec spec;
   AISpec ai;
   ai.stop = AiSpecStopTrigger::after_rounds(2);

@@ -187,6 +187,40 @@ TEST(ReadingPipeline, EndCycleReachesEverySink) {
   EXPECT_EQ(sink->cycles_, 2u);
 }
 
+TEST(ReadingPipeline, FakeClockMakesDispatchLatencyExact) {
+  // Each dispatch brackets a sink call with two clock reads; an auto-step
+  // fake therefore charges exactly one step per sink per reading.
+  util::FakeWallClock clock(/*auto_step=*/0.25);
+  ReadingPipeline pipeline;
+  pipeline.set_wall_clock(clock);
+  auto taker = std::make_shared<CountingSink>("taker");
+  auto refuser = std::make_shared<CountingSink>("refuser", /*accept=*/false);
+  pipeline.add_sink(taker);
+  pipeline.add_sink(refuser);
+
+  for (int i = 0; i < 4; ++i) {
+    pipeline.dispatch(make_reading(static_cast<std::uint64_t>(i)), {});
+  }
+
+  const auto stats = pipeline.stats();
+  EXPECT_DOUBLE_EQ(stats[0].dispatch_seconds, 4 * 0.25);
+  EXPECT_DOUBLE_EQ(stats[1].dispatch_seconds, 4 * 0.25);
+  // Declined readings still cost dispatch time: mean is over both.
+  EXPECT_DOUBLE_EQ(stats[0].mean_dispatch_us(), 0.25 * 1e6);
+  EXPECT_DOUBLE_EQ(stats[1].mean_dispatch_us(), 0.25 * 1e6);
+}
+
+TEST(ReadingPipeline, ThrowingSinkStillChargesDispatchTime) {
+  util::FakeWallClock clock(/*auto_step=*/0.5);
+  ReadingPipeline pipeline;
+  pipeline.set_wall_clock(clock);
+  pipeline.add_sink(std::make_shared<ThrowingSink>("bomb"));
+  pipeline.dispatch(make_reading(), {});
+  const auto stats = pipeline.stats();
+  EXPECT_EQ(stats[0].exceptions, 1u);
+  EXPECT_DOUBLE_EQ(stats[0].dispatch_seconds, 0.5);
+}
+
 // ------------------------------------------------- controller integration
 
 struct PipelineBed {
@@ -310,6 +344,47 @@ TEST(TagwatchController, CustomSinkReceivesCycleEndNotifications) {
   EXPECT_EQ(probe->seen_,
             reports[0].phase1_readings + reports[0].phase2_readings +
                 reports[1].phase1_readings + reports[1].phase2_readings);
+}
+
+TEST(TagwatchController, FakeWallClockMakesComputeTimingExact) {
+  PipelineBed bed(10, 1, 23);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(300);
+  // 2 ms per clock read: the assessment+scheduling block reads the clock
+  // exactly twice, so every cycle reports exactly 2 ms of compute.
+  util::FakeWallClock clock(/*auto_step=*/0.002);
+  cfg.wall_clock = &clock;
+  cfg.charge_compute_time = false;
+  TagwatchController ctl(cfg, *bed.client);
+
+  for (const auto& r : ctl.run_cycles(3)) {
+    EXPECT_DOUBLE_EQ(r.schedule_compute_ms, 2.0);
+  }
+
+  // The controller's clock also drives the pipeline: per-sink dispatch
+  // cost is one step per reading.
+  // (NEAR, not DOUBLE_EQ: 0.002 is not exactly representable, so summing
+  // clock deltas accumulates ulps.)
+  for (const auto& stats : ctl.pipeline().stats()) {
+    SCOPED_TRACE(stats.name);
+    EXPECT_NEAR(stats.mean_dispatch_us(), 2000.0, 1e-6);
+  }
+}
+
+TEST(TagwatchController, ChargedComputeTimeReachesTheReaderClock) {
+  PipelineBed bed(8, 1, 29);
+  TagwatchConfig cfg;
+  cfg.phase2_duration = util::msec(200);
+  util::FakeWallClock clock(/*auto_step=*/0.004);
+  cfg.wall_clock = &clock;
+  cfg.charge_compute_time = true;
+  TagwatchController ctl(cfg, *bed.client);
+  const CycleReport r = ctl.run_cycle();
+  EXPECT_DOUBLE_EQ(r.schedule_compute_ms, 4.0);
+  // 4 ms of host compute was charged onto the simulated timeline between
+  // the phases, so the inter-phase gap must be at least that long.
+  ASSERT_TRUE(r.interphase_gap.has_value());
+  EXPECT_GE(*r.interphase_gap, util::msec(4));
 }
 
 TEST(TagwatchController, CycleSurvivesAThrowingApplicationSink) {

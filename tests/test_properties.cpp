@@ -42,7 +42,9 @@ TEST_P(InventoryCompleteness, EveryTagReadExactlyOnce) {
   gen2::QueryCommand q;
   q.q = p.initial_q;
   const gen2::RoundStats stats = reader.run_inventory_round(
-      q, [&read_counts](const rf::TagReading& r) { ++read_counts[r.epc.to_hex()]; });
+      q, [&read_counts](const rf::TagReading& r) {
+        ++read_counts[r.epc.to_hex()];
+      });
   EXPECT_EQ(read_counts.size(), p.n_tags);
   for (const auto& [epc, count] : read_counts) {
     EXPECT_EQ(count, 1) << epc;

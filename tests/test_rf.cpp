@@ -148,8 +148,10 @@ TEST_F(RfChannelTest, StationaryTagPhaseIsTightlyClustered) {
 }
 
 TEST_F(RfChannelTest, PhaseDiffersAcrossChannels) {
-  const RfObservation a = channel_.observe(antenna_, {1.5, 0.5, 0}, 0.0, {}, 0, rng_);
-  const RfObservation b = channel_.observe(antenna_, {1.5, 0.5, 0}, 0.0, {}, 15, rng_);
+  const RfObservation a =
+      channel_.observe(antenna_, {1.5, 0.5, 0}, 0.0, {}, 0, rng_);
+  const RfObservation b =
+      channel_.observe(antenna_, {1.5, 0.5, 0}, 0.0, {}, 15, rng_);
   // ~5.6 MHz apart over a 2×1.58 m round trip ⇒ phase separation well above
   // the noise floor.
   EXPECT_GT(util::circular_distance(a.phase_rad, b.phase_rad), 0.2);
@@ -179,7 +181,8 @@ TEST_F(RfChannelTest, MovingReflectorCausesPhaseJumps) {
   // though the tag is static — the multipath effect the GMM must absorb.
   util::CircularStats clear_stats, busy_stats;
   for (int i = 0; i < 300; ++i) {
-    clear_stats.add(channel_.observe(antenna_, {2.0, 0, 0}, 0.0, {}, 5, rng_).phase_rad);
+    clear_stats.add(
+        channel_.observe(antenna_, {2.0, 0, 0}, 0.0, {}, 5, rng_).phase_rad);
     // The person alternates between two spots with clearly different
     // reader→person→tag detours (different Fresnel zones → distinct
     // superposition states).

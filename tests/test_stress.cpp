@@ -138,7 +138,8 @@ TEST(Stress, HoppingReaderKeepsChannelMetadataConsistent) {
   for (int round = 0; round < 60; ++round) {
     gen2::QueryCommand q;
     q.target = target;
-    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB : gen2::InvFlag::kA;
+    target = target == gen2::InvFlag::kA ? gen2::InvFlag::kB
+                                         : gen2::InvFlag::kA;
     reader.run_inventory_round(q, [&reader](const rf::TagReading& r) {
       EXPECT_LT(r.channel, 16u);
       EXPECT_EQ(r.channel, reader.current_channel());

@@ -37,7 +37,8 @@ TEST(TrackPoint, ParkedTagsDominateReadings) {
   ASSERT_FALSE(result.per_tag.empty());
   // per_tag is sorted descending: the top readers should be parked tags.
   std::size_t parked_in_top5 = 0;
-  for (std::size_t i = 0; i < std::min<std::size_t>(5, result.per_tag.size()); ++i) {
+  const std::size_t top5 = std::min<std::size_t>(5, result.per_tag.size());
+  for (std::size_t i = 0; i < top5; ++i) {
     if (!result.per_tag[i].conveyor) ++parked_in_top5;
   }
   EXPECT_GE(parked_in_top5, 4u);

@@ -1,0 +1,117 @@
+// tagwatch_lint — the project-invariant checker, as a CLI.
+//
+// Walks the source tree, runs every rule in src/lint over it, and prints
+// findings in the file:line: [rule] message form editors understand.
+// Exit code 1 on any finding, so CI can gate on it.
+//
+// Usage:
+//   tagwatch_lint [--root <dir>] [--list-rules] [subdir...]
+//
+// With no subdirs, scans the project default: src tests tools examples
+// bench.  --root sets the tree root (default: the current directory); all
+// reported paths are root-relative.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kDefaultDirs[] = {"src", "tests", "tools", "examples",
+                                        "bench"};
+
+bool is_source_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Root-relative path with forward slashes (what rules key off).
+std::string relative_slash_path(const fs::path& file, const fs::path& root) {
+  std::string rel = fs::relative(file, root).generic_string();
+  return rel;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : tagwatch::lint::RuleEngine::rule_names()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tagwatch_lint: --root needs a path\n");
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "tagwatch_lint: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+    dirs.push_back(arg);
+  }
+  if (dirs.empty()) {
+    dirs.assign(std::begin(kDefaultDirs), std::end(kDefaultDirs));
+  }
+
+  std::vector<tagwatch::lint::SourceFile> files;
+  try {
+    std::vector<fs::path> paths;
+    for (const std::string& dir : dirs) {
+      const fs::path base = root / dir;
+      if (!fs::exists(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file() && is_source_file(entry.path())) {
+          paths.push_back(entry.path());
+        }
+      }
+    }
+    // Deterministic order regardless of directory iteration order.
+    std::sort(paths.begin(), paths.end());
+    files.reserve(paths.size());
+    for (const fs::path& path : paths) {
+      files.push_back({relative_slash_path(path, root), read_file(path)});
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tagwatch_lint: %s\n", e.what());
+    return 2;
+  }
+
+  const tagwatch::lint::RuleEngine engine;
+  const tagwatch::lint::LintReport report = engine.run(files);
+  for (const tagwatch::lint::Finding& f : report.findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  std::printf(
+      "tagwatch_lint: %zu files, %zu finding%s, %zu suppression%s used "
+      "(%zu allow annotation%s in tree)\n",
+      files.size(), report.findings.size(),
+      report.findings.size() == 1 ? "" : "s", report.suppressions_used,
+      report.suppressions_used == 1 ? "" : "s", report.allow_annotations,
+      report.allow_annotations == 1 ? "" : "s");
+  return report.findings.empty() ? 0 : 1;
+}

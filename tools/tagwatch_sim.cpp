@@ -240,18 +240,22 @@ int run(int argc, char** argv) {
   std::unique_ptr<llrp::ReplayReaderClient> replayer;
   llrp::ReaderClient* client = &sim_client;
   if (!replay_path.empty()) {
-    replayer = std::make_unique<llrp::ReplayReaderClient>(
-        llrp::ReaderJournal::load(replay_path));
+    llrp::ReaderJournal journal = llrp::ReaderJournal::load(replay_path);
+    const std::uint64_t digest = llrp::journal_digest(journal);
+    replayer = std::make_unique<llrp::ReplayReaderClient>(std::move(journal));
     client = replayer.get();
-    std::printf("replaying journal: %s (%zu operations, backend %s)\n",
-                replay_path.c_str(), replayer->remaining(),
-                replayer->capabilities().model.c_str());
+    std::printf(
+        "replaying journal: %s (%zu operations, backend %s, digest "
+        "%016llx)\n",
+        replay_path.c_str(), replayer->remaining(),
+        replayer->capabilities().model.c_str(),
+        static_cast<unsigned long long>(digest));
   } else {
     if (inject_faults) {
       llrp::FaultPlan plan;
-      plan.seed =
-          static_cast<std::uint64_t>(int_in(cfg, "fault_seed", 99, 0,
-                                            std::numeric_limits<std::int64_t>::max()));
+      plan.seed = static_cast<std::uint64_t>(
+          int_in(cfg, "fault_seed", 99, 0,
+                 std::numeric_limits<std::int64_t>::max()));
       plan.execute_failure_probability =
           double_in(cfg, "fault_rate", 0.1, 0.0, 1.0);
       plan.weight_disconnect = 0.3;
@@ -398,8 +402,10 @@ int run(int argc, char** argv) {
 
   if (recorder != nullptr) {
     recorder->journal().save(record_path);
-    std::printf("\nrecorded %zu reader operations to %s\n",
-                recorder->journal().size(), record_path.c_str());
+    std::printf("\nrecorded %zu reader operations to %s (digest %016llx)\n",
+                recorder->journal().size(), record_path.c_str(),
+                static_cast<unsigned long long>(
+                    llrp::journal_digest(recorder->journal())));
   }
   return 0;
 }
