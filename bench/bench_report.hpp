@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -63,6 +64,16 @@ class BenchReport {
   }
 
   std::size_t size() const noexcept { return metrics_.size(); }
+
+  /// Value of the first recorded metric named `name`, or NaN when absent —
+  /// lets a harness derive ratio metrics (e.g. a speedup) from runs it
+  /// already recorded.
+  double value_of(const std::string& name) const {
+    for (const Metric& m : metrics_) {
+      if (m.name == name) return m.value;
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+  }
 
   /// Renders the report as JSON.  Non-finite values become null so the
   /// output always parses.

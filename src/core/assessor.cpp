@@ -9,6 +9,7 @@ MotionAssessor::MotionAssessor(AssessorConfig config)
 
 void MotionAssessor::begin_window() {
   window_open_ = true;
+  last_window_.clear();
   for (auto& [epc, state] : tags_) {
     state.window_readings = 0;
     state.moving_votes = 0;
@@ -33,6 +34,12 @@ void MotionAssessor::ingest(const rf::TagReading& reading) {
 }
 
 std::vector<TagAssessment> MotionAssessor::assess(util::SimTime now) {
+  if (!window_open_) {
+    // The window is already closed: replay its cached result instead of
+    // re-applying forget_after eviction at a later `now` (which would
+    // silently drop tags the window did assess).
+    return last_window_;
+  }
   window_open_ = false;
   std::vector<TagAssessment> out;
   for (auto it = tags_.begin(); it != tags_.end();) {
@@ -57,6 +64,7 @@ std::vector<TagAssessment> MotionAssessor::assess(util::SimTime now) {
             [](const TagAssessment& a, const TagAssessment& b) {
               return a.epc < b.epc;
             });
+  last_window_ = out;
   return out;
 }
 

@@ -53,6 +53,11 @@ class MotionAssessor {
 
   /// Ends the window: returns per-tag assessments for tags read in the
   /// window and evicts tags unseen since `now - forget_after`.
+  ///
+  /// Idempotent per window: the first call after begin_window() computes
+  /// the result (and applies eviction once); later calls — including via
+  /// mobile_tags() — return the cached result unchanged, regardless of
+  /// `now`, until the next begin_window().
   std::vector<TagAssessment> assess(util::SimTime now);
 
   /// EPCs assessed mobile in the last window (convenience over assess()).
@@ -77,6 +82,8 @@ class MotionAssessor {
 
   AssessorConfig config_;
   bool window_open_ = false;
+  /// Result of the last closed window, replayed by repeat assess() calls.
+  std::vector<TagAssessment> last_window_;
   std::unordered_map<util::Epc, TagState> tags_;
 };
 

@@ -36,6 +36,10 @@ struct Bitmask {
 struct BitmaskCandidate {
   Bitmask bitmask;
   util::IndicatorBitmap coverage;  ///< Over the index's scene ordering.
+  /// |coverage ∩ targets| for the target set the table was built against —
+  /// the numerator of the first-round greedy gain, precomputed here so the
+  /// lazy scheduler can seed its heap without rescanning every coverage.
+  std::size_t targets_covered = 0;
 };
 
 /// The pre-built indexed table over the tags in the scene.
@@ -57,14 +61,36 @@ class BitmaskIndex {
   /// scene (unknown EPCs are ignored).
   util::IndicatorBitmap bitmap_of(const std::vector<util::Epc>& subset) const;
 
-  /// EPCs corresponding to the set bits of `bitmap`.
+  /// EPCs corresponding to the set bits of `bitmap`, whose size must match
+  /// the scene (throws std::invalid_argument otherwise, like
+  /// candidates_for).
   std::vector<util::Epc> epcs_of(const util::IndicatorBitmap& bitmap) const;
 
   /// Enumerates candidate bitmasks anchored at the EPCs of `targets`
-  /// (rows covering at least one target; identical-coverage rows merged).
+  /// (rows covering at least one target; identical-coverage rows merged,
+  /// keeping the first bitmask seen — Fig. 10's table preprocessing).
   /// For each (target, pointer) the sweep stops once coverage collapses to
   /// a single tag: longer masks have identical coverage.
+  ///
+  /// Large-scene fast path: each (target, pointer) run word-copies the
+  /// per-bit-position tag set of its first mask bit and extends the mask
+  /// one bit at a time with an AND over only the still-nonzero coverage
+  /// words (the active set shrinks as coverage narrows).  Rows are
+  /// deduplicated via a 64-bit content hash in a flat open-addressed
+  /// table (hash match → exact word compare, so collisions cannot merge
+  /// distinct rows); extensions that provably reproduce an already-probed
+  /// coverage — unchanged popcount within a run, a repeated singleton, a
+  /// repeated first extension — skip the probe outright.  Total cost is
+  /// O(n'·L·(n/64 + L·a)) word operations for n' targets, L EPC bits,
+  /// n tags, and a the mean active-word count (≤ n/64, ~min(n/64, |V|)).
   std::vector<BitmaskCandidate> candidates_for(
+      const util::IndicatorBitmap& targets) const;
+
+  /// Reference implementation of candidates_for(): rebuilds every coverage
+  /// bitmap bit-by-bit from "all tags".  Kept as the oracle for the
+  /// differential tests; output (order included) is identical to the fast
+  /// path.
+  std::vector<BitmaskCandidate> candidates_for_reference(
       const util::IndicatorBitmap& targets) const;
 
  private:
@@ -74,6 +100,8 @@ class BitmaskIndex {
   /// ones_[b]: tags whose EPC bit b is 1; zeros_[b]: complement.
   std::vector<util::IndicatorBitmap> ones_;
   std::vector<util::IndicatorBitmap> zeros_;
+  /// All scene bits set; the word-copy seed of every candidate run.
+  util::IndicatorBitmap all_;
 };
 
 }  // namespace tagwatch::core

@@ -329,7 +329,8 @@ CycleReport TagwatchController::run_cycle() {
   if (!read_all) {
     BitmaskIndex index(report.scene);
     const util::IndicatorBitmap targets = index.bitmap_of(report.targets);
-    GreedyCoverScheduler scheduler(config_.cost_model);
+    GreedyCoverScheduler scheduler(config_.cost_model,
+                                   config_.greedy_evaluation);
     report.schedule = config_.mode == ScheduleMode::kNaiveEpcMasks
                           ? scheduler.naive_plan(index, targets)
                           : scheduler.plan(index, targets);

@@ -51,6 +51,10 @@ struct TagwatchConfig {
   /// measurements (bench_irr_model) or take the paper's values.
   InventoryCostModel cost_model = InventoryCostModel::paper_fit();
   ScheduleMode mode = ScheduleMode::kGreedyCover;
+  /// Gain-evaluation strategy of the greedy cover under kGreedyCover.
+  /// kLazy is the large-scene fast path; kDense the full-rescan reference.
+  /// Both produce identical plans (enforced by differential tests).
+  GreedyEvaluation greedy_evaluation = GreedyEvaluation::kLazy;
   /// Fixed Phase II length (paper: 5 seconds).
   util::SimDuration phase2_duration = util::sec(5);
   /// Optional per-cycle override of the Phase II length, consulted after

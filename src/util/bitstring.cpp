@@ -69,8 +69,23 @@ void BitString::set_bit(std::size_t i, bool value) {
 BitString BitString::substring(std::size_t pointer, std::size_t length) const {
   if (pointer + length > size_) throw std::out_of_range("BitString::substring");
   BitString out(length);
-  for (std::size_t i = 0; i < length; ++i) {
-    out.set_bit(i, bit(pointer + i));
+  // Word-parallel extraction: output word j is input bits
+  // [pointer + 64j, pointer + 64j + 64), i.e. two left-aligned source words
+  // stitched at a shift that is constant across j.
+  const std::size_t shift = pointer % 64;
+  for (std::size_t j = 0; j < out.words_.size(); ++j) {
+    const std::size_t q = pointer / 64 + j;
+    std::uint64_t word = words_[q] << shift;
+    if (shift != 0 && q + 1 < words_.size()) {
+      word |= words_[q + 1] >> (64 - shift);
+    }
+    out.words_[j] = word;
+  }
+  // Clear the low bits of the tail word past `length` so the defaulted
+  // ==/hash over words_ never see stray source bits.
+  const std::size_t tail = length % 64;
+  if (tail != 0) {
+    out.words_.back() &= ~std::uint64_t{0} << (64 - tail);
   }
   return out;
 }

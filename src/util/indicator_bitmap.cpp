@@ -16,19 +16,78 @@ bool IndicatorBitmap::test(std::size_t i) const {
 void IndicatorBitmap::set(std::size_t i, bool value) {
   if (i >= size_) throw std::out_of_range("IndicatorBitmap::set");
   const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+  const bool was_set = (words_[i / 64] & mask) != 0;
   if (value) {
     words_[i / 64] |= mask;
+    if (!was_set) ++count_;
   } else {
     words_[i / 64] &= ~mask;
+    if (was_set) --count_;
   }
 }
 
-std::size_t IndicatorBitmap::count() const noexcept {
+void IndicatorBitmap::set_word(std::size_t i, std::uint64_t value) {
+  if (i >= words_.size()) throw std::out_of_range("IndicatorBitmap::set_word");
+  const std::size_t tail = size_ % 64;
+  if (tail != 0 && i + 1 == words_.size()) {
+    value &= (std::uint64_t{1} << tail) - 1;
+  }
+  count_ += static_cast<std::size_t>(std::popcount(value));
+  count_ -= static_cast<std::size_t>(std::popcount(words_[i]));
+  words_[i] = value;
+}
+
+void IndicatorBitmap::assign_words(std::size_t size,
+                                   const std::uint64_t* words) {
+  size_ = size;
+  words_.assign(words, words + (size + 63) / 64);
+  const std::size_t tail = size_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
   std::size_t total = 0;
   for (const auto w : words_) {
     total += static_cast<std::size_t>(std::popcount(w));
   }
-  return total;
+  count_ = total;
+}
+
+void IndicatorBitmap::assign_words(std::size_t size,
+                                   const std::uint64_t* words,
+                                   std::size_t count) {
+  size_ = size;
+  words_.assign(words, words + (size + 63) / 64);
+  count_ = count;
+}
+
+void IndicatorBitmap::assign_words_sparse(std::size_t size,
+                                          const std::uint64_t* words,
+                                          const std::size_t* idx,
+                                          std::size_t n_idx,
+                                          std::size_t count) {
+  size_ = size;
+  words_.assign((size + 63) / 64, 0);
+  for (std::size_t k = 0; k < n_idx; ++k) {
+    words_[idx[k]] = words[idx[k]];
+  }
+  count_ = count;
+}
+
+void IndicatorBitmap::clear() {
+  for (auto& w : words_) w = 0;
+  count_ = 0;
+}
+
+void IndicatorBitmap::fill() {
+  if (words_.empty()) return;
+  for (auto& w : words_) w = ~std::uint64_t{0};
+  // Keep the bits past size_ clear so word-wise hash/==/and_count never
+  // see tail garbage.
+  const std::size_t tail = size_ % 64;
+  if (tail != 0) {
+    words_.back() = (std::uint64_t{1} << tail) - 1;
+  }
+  count_ = size_;
 }
 
 std::size_t IndicatorBitmap::and_count(const IndicatorBitmap& other) const {
@@ -41,18 +100,36 @@ std::size_t IndicatorBitmap::and_count(const IndicatorBitmap& other) const {
   return total;
 }
 
+void IndicatorBitmap::and_with(const IndicatorBitmap& other) {
+  check_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+    total += static_cast<std::size_t>(std::popcount(words_[i]));
+  }
+  count_ = total;
+}
+
 void IndicatorBitmap::subtract(const IndicatorBitmap& other) {
   check_same_size(other);
+  std::size_t removed = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
+    removed +=
+        static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
     words_[i] &= ~other.words_[i];
   }
+  count_ -= removed;
 }
 
 void IndicatorBitmap::merge(const IndicatorBitmap& other) {
   check_same_size(other);
+  std::size_t added = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
+    added +=
+        static_cast<std::size_t>(std::popcount(~words_[i] & other.words_[i]));
     words_[i] |= other.words_[i];
   }
+  count_ += added;
 }
 
 std::string IndicatorBitmap::to_string() const {

@@ -2,7 +2,11 @@
 //
 // One bit per tag in the scene; bit i is set when the associated bitmask
 // covers tag i.  The greedy set-cover search needs fast AND-popcount and
-// subtraction, so the bitmap packs bits into 64-bit words.
+// subtraction, so the bitmap packs bits into 64-bit words and every
+// mutating operation runs word-parallel.  The population count is cached
+// incrementally: each mutator folds the popcount delta of the words it
+// touches into the cache, making count() O(1) — the candidate sweep and
+// the lazy-greedy heap both query it on every step.
 #pragma once
 
 #include <cstddef>
@@ -26,14 +30,61 @@ class IndicatorBitmap {
   bool test(std::size_t i) const;
   void set(std::size_t i, bool value = true);
 
-  /// Number of set bits.
-  std::size_t count() const noexcept;
-  bool any() const noexcept { return count() > 0; }
-  bool none() const noexcept { return !any(); }
+  /// Number of 64-bit words backing the bitmap.
+  std::size_t word_count() const noexcept { return words_.size(); }
+
+  /// Word `i` of the backing array (tag 64·i is its lowest bit).
+  /// Precondition: i < word_count().
+  std::uint64_t word(std::size_t i) const noexcept { return words_[i]; }
+
+  /// The backing word array (word_count() words) for bulk readers — lets
+  /// hot loops hoist the pointer instead of re-resolving it per word.
+  const std::uint64_t* word_data() const noexcept { return words_.data(); }
+
+  /// Replaces word `i` wholesale, keeping the cached popcount exact.  Bits
+  /// past size_ in the tail word are masked off so word-wise hash/==/
+  /// and_count never see garbage.  Throws std::out_of_range on a bad index.
+  void set_word(std::size_t i, std::uint64_t value);
+
+  /// Rebuilds the bitmap as `size` bits copied from the ⌈size/64⌉ words at
+  /// `words` (tail bits masked, popcount recomputed) — the bulk
+  /// materialization step of the candidate sweep.
+  void assign_words(std::size_t size, const std::uint64_t* words);
+
+  /// assign_words with a caller-supplied popcount of the source words.
+  /// Precondition: `count` is exact and bits past `size` are already zero
+  /// (the candidate sweep maintains both invariants); violating either
+  /// corrupts the count()/== cache.
+  void assign_words(std::size_t size, const std::uint64_t* words,
+                    std::size_t count);
+
+  /// Sparse assign_words: zero-fills, then copies only `words[idx]` for the
+  /// `n_idx` indices at `idx` — the materialization step for coverages with
+  /// few nonzero words.  Preconditions as for the trusted assign_words,
+  /// plus: `idx` lists (at least) every nonzero word index, ascending.
+  void assign_words_sparse(std::size_t size, const std::uint64_t* words,
+                           const std::size_t* idx, std::size_t n_idx,
+                           std::size_t count);
+
+  /// Clears every bit.
+  void clear();
+
+  /// Number of set bits.  O(1): maintained incrementally by every mutator.
+  std::size_t count() const noexcept { return count_; }
+  bool any() const noexcept { return count_ > 0; }
+  bool none() const noexcept { return count_ == 0; }
+
+  /// Sets every bit (the candidate sweep's "start from all tags" state).
+  void fill();
 
   /// Popcount of (*this & other) — the |V_i & V| term of the relative gain
   /// (Eqn. 13).  Precondition: same size.
   std::size_t and_count(const IndicatorBitmap& other) const;
+
+  /// In-place intersection: one pass that ANDs word-by-word and refreshes
+  /// the cached popcount — the candidate sweep's mask-extension step.
+  /// Precondition: same size.
+  void and_with(const IndicatorBitmap& other);
 
   /// Clears every bit that is set in `other`: V ← V − (V & other), the
   /// input-bitmap update of the greedy search (Step 3).
@@ -48,12 +99,16 @@ class IndicatorBitmap {
   /// Renders as '0'/'1' characters, tag 0 first (diagnostics).
   std::string to_string() const;
 
+  /// FNV-1a over the word array (and the size), for coverage dedup.
   std::size_t hash() const noexcept;
 
  private:
   void check_same_size(const IndicatorBitmap& other) const;
 
   std::size_t size_ = 0;
+  /// Cached popcount of words_.  Invariant: always exact, so the defaulted
+  /// operator== (which compares it alongside words_) stays consistent.
+  std::size_t count_ = 0;
   std::vector<std::uint64_t> words_;
 };
 

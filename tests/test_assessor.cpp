@@ -149,6 +149,47 @@ TEST(MotionAssessor, MultipleTagsIndependent) {
   EXPECT_EQ(mobile[0], util::Epc::from_serial(2));
 }
 
+TEST(MotionAssessor, AssessIsCachedAndIdempotentPerWindow) {
+  // Regression: a second assess() (e.g. via mobile_tags()) after the
+  // window closed used to re-apply forget_after eviction at the later
+  // clock, dropping tags the window did assess and returning a different
+  // (eventually empty) result.  The window result must be cached.
+  AssessorConfig cfg = fast_config();
+  cfg.forget_after = util::sec(5);
+  MotionAssessor a(cfg);
+  a.begin_window();
+  a.ingest(reading(1, 1.0, util::msec(100)));
+  const auto first = a.assess(util::msec(200));
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_TRUE(first[0].mobile);  // new tag: presumed mobile
+
+  // Re-query long past forget_after: same cached result, no re-eviction.
+  const auto second = a.assess(util::sec(60));
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].epc, first[0].epc);
+  EXPECT_EQ(second[0].window_readings, first[0].window_readings);
+  EXPECT_EQ(second[0].moving_votes, first[0].moving_votes);
+  EXPECT_EQ(second[0].mobile, first[0].mobile);
+  EXPECT_EQ(a.mobile_tags(util::sec(60)).size(), 1u);
+  EXPECT_EQ(a.tracked_count(), 1u);
+
+  // The next window starts fresh: the cache is invalidated.
+  a.begin_window();
+  EXPECT_TRUE(a.assess(util::sec(60)).empty());
+}
+
+TEST(MotionAssessor, MobileTagsAfterAssessSeesTheSameWindow) {
+  // assess() followed by mobile_tags() in the same window must agree.
+  MotionAssessor a(fast_config());
+  a.begin_window();
+  a.ingest(reading(7, 1.0, util::msec(10)));
+  const auto assessments = a.assess(util::msec(20));
+  ASSERT_EQ(assessments.size(), 1u);
+  const auto mobile = a.mobile_tags(util::msec(20));
+  ASSERT_EQ(mobile.size(), 1u);
+  EXPECT_EQ(mobile[0], util::Epc::from_serial(7));
+}
+
 TEST(MotionAssessor, VoteThresholdConfigurable) {
   AssessorConfig cfg = fast_config();
   cfg.mobile_vote_threshold = 3;

@@ -51,6 +51,42 @@ TEST(BitmaskIndex, BitmapOfMapsSubset) {
   EXPECT_EQ(epcs[0], epc6("000010"));
 }
 
+TEST(BitmaskIndex, EpcsOfRejectsSizeMismatch) {
+  // Regression: epcs_of used to silently truncate on a size mismatch while
+  // candidates_for threw — both must validate consistently.
+  BitmaskIndex index({epc6("000001"), epc6("000010"), epc6("000100")});
+  EXPECT_THROW(index.epcs_of(util::IndicatorBitmap(2)), std::invalid_argument);
+  EXPECT_THROW(index.epcs_of(util::IndicatorBitmap(4)), std::invalid_argument);
+  // The matching size still round-trips.
+  const auto bitmap = index.bitmap_of({epc6("000010")});
+  EXPECT_EQ(index.epcs_of(bitmap).size(), 1u);
+}
+
+TEST(BitmaskIndex, CandidatesForRejectsSizeMismatch) {
+  BitmaskIndex index({epc6("000001"), epc6("000010")});
+  EXPECT_THROW(index.candidates_for(util::IndicatorBitmap(3)),
+               std::invalid_argument);
+  EXPECT_THROW(index.candidates_for_reference(util::IndicatorBitmap(3)),
+               std::invalid_argument);
+}
+
+TEST(BitmaskIndex, FastPathMatchesReferenceEnumeration) {
+  // The incremental fast path must reproduce the reference enumeration
+  // exactly — same rows, same order, same first-seen bitmask per coverage.
+  util::Rng rng(95);
+  std::vector<util::Epc> scene;
+  for (int i = 0; i < 70; ++i) scene.push_back(util::Epc::random(rng));
+  BitmaskIndex index(scene);
+  const auto targets = index.bitmap_of({scene[1], scene[33], scene[64]});
+  const auto fast = index.candidates_for(targets);
+  const auto reference = index.candidates_for_reference(targets);
+  ASSERT_EQ(fast.size(), reference.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].bitmask, reference[i].bitmask) << "row " << i;
+    EXPECT_EQ(fast[i].coverage, reference[i].coverage) << "row " << i;
+  }
+}
+
 TEST(BitmaskIndex, CandidatesAllCoverAtLeastOneTarget) {
   util::Rng rng(91);
   std::vector<util::Epc> scene;

@@ -111,6 +111,91 @@ TEST(IndicatorBitmap, ToStringRendersTagOrder) {
   EXPECT_EQ(b.to_string(), "0101");
 }
 
+TEST(IndicatorBitmap, FillSetsEveryBitAndMasksTheTail) {
+  // 70 bits spans two words with a partial tail; fill() must not set the
+  // 58 tail bits, or word-wise ==/hash/and_count would see garbage.
+  IndicatorBitmap filled(70);
+  filled.fill();
+  EXPECT_EQ(filled.count(), 70u);
+  IndicatorBitmap reference(70);
+  for (std::size_t i = 0; i < 70; ++i) reference.set(i);
+  EXPECT_EQ(filled, reference);
+  EXPECT_EQ(filled.hash(), reference.hash());
+  EXPECT_EQ(filled.and_count(reference), 70u);
+
+  // Word-aligned size: no tail to mask.
+  IndicatorBitmap aligned(128);
+  aligned.fill();
+  EXPECT_EQ(aligned.count(), 128u);
+  EXPECT_TRUE(aligned.test(127));
+
+  IndicatorBitmap empty(0);
+  empty.fill();
+  EXPECT_EQ(empty.count(), 0u);
+}
+
+TEST(IndicatorBitmap, AndWithIsInPlaceIntersection) {
+  IndicatorBitmap a(130), b(130);
+  a.set(0);
+  a.set(64);
+  a.set(129);
+  b.set(64);
+  b.set(129);
+  b.set(100);
+  a.and_with(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_FALSE(a.test(0));
+  EXPECT_TRUE(a.test(64));
+  EXPECT_TRUE(a.test(129));
+  IndicatorBitmap c(131);
+  EXPECT_THROW(a.and_with(c), std::invalid_argument);
+}
+
+TEST(IndicatorBitmap, CachedCountStaysExactThroughMutations) {
+  // The O(1) cached popcount must agree with a per-bit reference across a
+  // random mix of every mutator.
+  Rng rng(14);
+  const std::size_t n = 200;
+  IndicatorBitmap b(n);
+  std::vector<bool> reference(n, false);
+  const auto reference_count = [&reference] {
+    std::size_t c = 0;
+    for (const bool bit : reference) c += bit ? 1u : 0u;
+    return c;
+  };
+  for (int step = 0; step < 200; ++step) {
+    const auto op = rng.below(5);
+    if (op == 0) {
+      const auto i = static_cast<std::size_t>(rng.below(n));
+      const bool value = rng.chance(0.5);
+      b.set(i, value);
+      reference[i] = value;
+    } else {
+      IndicatorBitmap other(n);
+      std::vector<bool> other_reference(n, false);
+      for (int k = 0; k < 40; ++k) {
+        const auto i = static_cast<std::size_t>(rng.below(n));
+        other.set(i);
+        other_reference[i] = true;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (op == 1) reference[i] = reference[i] && other_reference[i];
+        if (op == 2) reference[i] = reference[i] && !other_reference[i];
+        if (op == 3) reference[i] = reference[i] || other_reference[i];
+        if (op == 4) reference[i] = true;
+      }
+      if (op == 1) b.and_with(other);
+      if (op == 2) b.subtract(other);
+      if (op == 3) b.merge(other);
+      if (op == 4) b.fill();
+    }
+    ASSERT_EQ(b.count(), reference_count()) << "step " << step;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(b.test(i), reference[i]) << "step " << step << " bit " << i;
+    }
+  }
+}
+
 TEST(IndicatorBitmap, CountRandomizedAgainstReference) {
   Rng rng(13);
   IndicatorBitmap b(513);

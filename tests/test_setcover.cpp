@@ -177,6 +177,61 @@ TEST(GreedyCover, NaivePlanShape) {
               2.0 * InventoryCostModel::paper_fit().cost_seconds(1), 1e-12);
 }
 
+TEST(GreedyCover, EqualGainTieBreaksToLowestCandidateIndex) {
+  // Two targets with no bit position in common: every candidate is a
+  // singleton, so the first greedy round sees two equal gains 1/C(1).
+  // The tie must break to the lowest candidate index — the run anchored
+  // at scene()[0] with pointer 0 and length 1 — under both evaluation
+  // strategies, keeping plans byte-identical across planner paths.
+  BitmaskIndex index({epc6("000000"), epc6("111111")});
+  const auto targets = index.bitmap_of({epc6("000000"), epc6("111111")});
+  for (const auto evaluation :
+       {GreedyEvaluation::kLazy, GreedyEvaluation::kDense}) {
+    const Schedule plan =
+        GreedyCoverScheduler(InventoryCostModel::paper_fit(), evaluation)
+            .plan(index, targets);
+    ASSERT_EQ(plan.selections.size(), 2u);
+    EXPECT_EQ(plan.selections[0].bitmask.pointer, 0u);
+    EXPECT_EQ(plan.selections[0].bitmask.to_string(), "S(0, 0, 1)");
+    EXPECT_EQ(plan.selections[1].bitmask.to_string(), "S(1, 0, 1)");
+  }
+}
+
+TEST(GreedyCover, LazyAndDensePlansAgree) {
+  util::Rng rng(105);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<util::Epc> scene;
+    const std::size_t n = 30 + rng.below(90);
+    for (std::size_t i = 0; i < n; ++i) scene.push_back(util::Epc::random(rng));
+    BitmaskIndex index(scene);
+    std::vector<util::Epc> target_epcs;
+    for (const auto& e : index.scene()) {
+      if (rng.chance(0.1)) target_epcs.push_back(e);
+    }
+    if (target_epcs.empty()) target_epcs.push_back(index.scene()[0]);
+    const auto targets = index.bitmap_of(target_epcs);
+    const Schedule lazy =
+        GreedyCoverScheduler(InventoryCostModel::paper_fit(),
+                             GreedyEvaluation::kLazy)
+            .plan(index, targets);
+    const Schedule dense =
+        GreedyCoverScheduler(InventoryCostModel::paper_fit(),
+                             GreedyEvaluation::kDense)
+            .plan(index, targets);
+    ASSERT_EQ(lazy.selections.size(), dense.selections.size());
+    for (std::size_t i = 0; i < lazy.selections.size(); ++i) {
+      EXPECT_EQ(lazy.selections[i].bitmask, dense.selections[i].bitmask);
+      EXPECT_EQ(lazy.selections[i].covered_total,
+                dense.selections[i].covered_total);
+      EXPECT_EQ(lazy.selections[i].covered_targets,
+                dense.selections[i].covered_targets);
+    }
+    EXPECT_EQ(lazy.estimated_cost_s, dense.estimated_cost_s);
+    EXPECT_EQ(lazy.used_naive_fallback, dense.used_naive_fallback);
+    EXPECT_EQ(lazy.covered_union, dense.covered_union);
+  }
+}
+
 TEST(GreedyCover, RejectsEmptyTargets) {
   BitmaskIndex index({epc6("000001")});
   util::IndicatorBitmap empty(1);

@@ -13,6 +13,9 @@
 //   mover_speed     = 0.7         m/s
 //   people          = 0           walking multipath reflectors
 //   mode            = tagwatch    tagwatch | naive | read-all
+//   scheduler_evaluation = lazy   lazy | dense — greedy-cover gain
+//                                 evaluation (dense is the full-rescan
+//                                 reference path; plans are identical)
 //   cycles          = 10
 //   phase2_seconds  = 5
 //   channels        = 1           1 or 16 (920–926 MHz plan)
@@ -72,6 +75,13 @@ core::ScheduleMode parse_mode(const std::string& mode) {
                               " (expected tagwatch|naive|read-all)");
 }
 
+core::GreedyEvaluation parse_evaluation(const std::string& evaluation) {
+  if (evaluation == "lazy") return core::GreedyEvaluation::kLazy;
+  if (evaluation == "dense") return core::GreedyEvaluation::kDense;
+  throw std::invalid_argument("unknown scheduler_evaluation: " + evaluation +
+                              " (expected lazy|dense)");
+}
+
 /// Every key a scenario file may contain.  Unknown keys are rejected with
 /// this list so a typo ("cycels = 10") fails loudly instead of silently
 /// running defaults.
@@ -82,7 +92,7 @@ constexpr const char* kAcceptedKeys[] = {
     "pipeline_stats", "fault_injection", "fault_rate", "fault_seed",
     "fault_drop_rate", "fault_duplicate_rate", "fault_corrupt_rate",
     "fault_reconnect_ms", "retry_attempts", "degrade_after",
-    "restore_after"};
+    "restore_after", "scheduler_evaluation"};
 
 void reject_unknown_keys(const util::KeyValueConfig& cfg) {
   for (const std::string& key : cfg.keys()) {
@@ -280,6 +290,8 @@ int run(int argc, char** argv) {
   // ---------------------------------------------------------- tagwatch
   core::TagwatchConfig twcfg;
   twcfg.mode = mode;
+  twcfg.greedy_evaluation =
+      parse_evaluation(cfg.get_or("scheduler_evaluation", "lazy"));
   twcfg.phase2_duration =
       util::sec(int_in(cfg, "phase2_seconds", 5, 1, 3600));
   twcfg.pinned_targets = cfg.get_epc_list("pinned_targets");
