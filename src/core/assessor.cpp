@@ -9,11 +9,8 @@ MotionAssessor::MotionAssessor(AssessorConfig config)
 
 void MotionAssessor::begin_window() {
   window_open_ = true;
+  ++window_epoch_;
   last_window_.clear();
-  for (auto& [epc, state] : tags_) {
-    state.window_readings = 0;
-    state.moving_votes = 0;
-  }
 }
 
 void MotionAssessor::ingest(const rf::TagReading& reading) {
@@ -28,12 +25,20 @@ void MotionAssessor::ingest(const rf::TagReading& reading) {
   state.last_seen = reading.timestamp;
   ++state.total_readings;
   if (window_open_) {
+    if (state.window_epoch != window_epoch_) {
+      // First reading of this tag in the current window: its counters
+      // still belong to an earlier window — reset them now instead of
+      // walking every tracked tag in begin_window().
+      state.window_epoch = window_epoch_;
+      state.window_readings = 0;
+      state.moving_votes = 0;
+    }
     ++state.window_readings;
     if (verdict == MotionVerdict::kMoving) ++state.moving_votes;
   }
 }
 
-std::vector<TagAssessment> MotionAssessor::assess(util::SimTime now) {
+const std::vector<TagAssessment>& MotionAssessor::assess(util::SimTime now) {
   if (!window_open_) {
     // The window is already closed: replay its cached result instead of
     // re-applying forget_after eviction at a later `now` (which would
@@ -50,7 +55,8 @@ std::vector<TagAssessment> MotionAssessor::assess(util::SimTime now) {
       it = tags_.erase(it);
       continue;
     }
-    if (state.window_readings > 0) {
+    // Counters from an older epoch mean the tag was not read this window.
+    if (state.window_epoch == window_epoch_ && state.window_readings > 0) {
       TagAssessment a;
       a.epc = it->first;
       a.window_readings = state.window_readings;
@@ -64,13 +70,13 @@ std::vector<TagAssessment> MotionAssessor::assess(util::SimTime now) {
             [](const TagAssessment& a, const TagAssessment& b) {
               return a.epc < b.epc;
             });
-  last_window_ = out;
-  return out;
+  last_window_ = std::move(out);
+  return last_window_;
 }
 
 std::vector<util::Epc> MotionAssessor::mobile_tags(util::SimTime now) {
   std::vector<util::Epc> mobile;
-  for (auto& a : assess(now)) {
+  for (const TagAssessment& a : assess(now)) {
     if (a.mobile) mobile.push_back(a.epc);
   }
   return mobile;

@@ -7,6 +7,7 @@
 // initially presumed mobile) on their first reading.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -43,7 +44,9 @@ class MotionAssessor {
  public:
   explicit MotionAssessor(AssessorConfig config = {});
 
-  /// Clears window vote counters; call at the start of each Phase I.
+  /// Opens an assessment window; call at the start of each Phase I.
+  /// O(1): vote counters are invalidated by bumping the window epoch, not
+  /// by walking every tracked tag.
   void begin_window();
 
   /// Feeds one reading (from either phase): updates that tag's detector.
@@ -57,8 +60,9 @@ class MotionAssessor {
   /// Idempotent per window: the first call after begin_window() computes
   /// the result (and applies eviction once); later calls — including via
   /// mobile_tags() — return the cached result unchanged, regardless of
-  /// `now`, until the next begin_window().
-  std::vector<TagAssessment> assess(util::SimTime now);
+  /// `now`, until the next begin_window().  The reference stays valid
+  /// until the next begin_window()/assess() call.
+  const std::vector<TagAssessment>& assess(util::SimTime now);
 
   /// EPCs assessed mobile in the last window (convenience over assess()).
   std::vector<util::Epc> mobile_tags(util::SimTime now);
@@ -75,6 +79,9 @@ class MotionAssessor {
   struct TagState {
     std::unique_ptr<MotionDetector> detector;
     util::SimTime last_seen{0};
+    /// Which window the counters below belong to; counters from an older
+    /// epoch are stale and reset lazily on the next in-window reading.
+    std::uint64_t window_epoch = 0;
     std::size_t window_readings = 0;
     std::size_t moving_votes = 0;
     std::size_t total_readings = 0;
@@ -82,6 +89,9 @@ class MotionAssessor {
 
   AssessorConfig config_;
   bool window_open_ = false;
+  /// Current window identity; 0 means "no window opened yet" (TagState
+  /// epochs start at 0 and the first open window is epoch 1).
+  std::uint64_t window_epoch_ = 0;
   /// Result of the last closed window, replayed by repeat assess() calls.
   std::vector<TagAssessment> last_window_;
   std::unordered_map<util::Epc, TagState> tags_;

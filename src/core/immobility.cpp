@@ -1,10 +1,6 @@
 #include "core/immobility.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
-
-#include "util/circular.hpp"
 
 namespace tagwatch::core {
 
@@ -21,106 +17,27 @@ ImmobilityModel::ImmobilityModel(ImmobilityConfig config, Metric metric)
   }
 }
 
-double ImmobilityModel::distance(double a, double b) const {
-  return metric_ == Metric::kCircular ? util::circular_distance(a, b)
-                                      : std::abs(a - b);
-}
-
-double ImmobilityModel::blend(double mean, double value, double rho) const {
-  return metric_ == Metric::kCircular
-             ? util::circular_lerp(mean, value, rho)
-             : mean + rho * (value - mean);
-}
-
-bool ImmobilityModel::matches(const GaussianComponent& c, double value) const {
-  const double band = config_.match_threshold *
-                      std::max(c.stddev, config_.min_match_stddev);
-  return distance(value, c.mean) < band;
-}
-
-bool ImmobilityModel::trusted(const GaussianComponent& c) const noexcept {
-  return c.count >= config_.trust_count && c.weight >= config_.trust_weight &&
-         c.stddev <= config_.trust_stddev;
-}
-
-std::size_t ImmobilityModel::find_match(double value) const {
-  // components_ is kept sorted by priority, so the first hit is the best.
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    if (matches(components_[i], value)) return i;
-  }
-  return npos;
-}
-
 bool ImmobilityModel::has_trusted_component() const noexcept {
-  return std::any_of(components_.begin(), components_.end(),
-                     [this](const GaussianComponent& c) { return trusted(c); });
+  return std::any_of(
+      components_.begin(), components_.end(),
+      [this](const GaussianComponent& c) { return mog_trusted(config_, c); });
 }
 
 MotionVerdict ImmobilityModel::classify(double value) const {
-  const std::size_t match = find_match(value);
-  if (match == npos) return MotionVerdict::kMoving;
-  return trusted(components_[match]) ? MotionVerdict::kStationary
-                                     : MotionVerdict::kMoving;
+  return mog_classify(components_.data(), components_.size(), config_,
+                      metric_, value);
 }
 
 MotionVerdict ImmobilityModel::observe(double value) {
-  const std::size_t match = find_match(value);
-  const double alpha = config_.learning_rate;
-
-  if (match == npos) {
-    // Case 2: no component explains the observation — the tag (or the
-    // environment) changed state.  Seed a new low-confidence component.
-    GaussianComponent fresh{config_.initial_weight, value,
-                            config_.initial_stddev, 1};
-    if (components_.size() < config_.max_components) {
-      components_.push_back(fresh);
-    } else {
-      // Replace the lowest-priority component (components_ sorted desc).
-      components_.back() = fresh;
-    }
-    sort_by_priority();
-    return MotionVerdict::kMoving;
-  }
-
-  const MotionVerdict verdict = trusted(components_[match])
-                                    ? MotionVerdict::kStationary
-                                    : MotionVerdict::kMoving;
-
-  // Case 1: matched — reinforce it, decay the rest (Eqn. 11).
-  for (std::size_t i = 0; i < components_.size(); ++i) {
-    GaussianComponent& c = components_[i];
-    if (i == match) {
-      c.weight = (1.0 - alpha) * c.weight + alpha;
-      ++c.count;
-      double rho;
-      if (c.count <= config_.warmup_count) {
-        // Warm-up: converge to the sample statistics of absorbed values.
-        rho = 1.0 / static_cast<double>(c.count + 1);
-      } else {
-        // Steady state: ρ = α·η̂ with a unit-peak kernel so that samples in
-        // the component core adapt at rate α and fringe samples slower.
-        const double sigma = std::max(c.stddev, config_.min_match_stddev);
-        const double z = distance(value, c.mean) / sigma;
-        rho = alpha * std::exp(-0.5 * z * z);
-      }
-      c.mean = blend(c.mean, value, rho);
-      const double residual = distance(value, c.mean);
-      c.stddev = std::min(std::sqrt((1.0 - rho) * c.stddev * c.stddev +
-                                    rho * residual * residual),
-                          config_.initial_stddev);
-    } else {
-      c.weight = (1.0 - alpha) * c.weight;
-    }
-  }
-  sort_by_priority();
+  // Give the shared kernel room for a possible push (it writes comps[n]
+  // in place), then shrink back to the live count.  The extra elements are
+  // default GaussianComponents the kernel never reads.
+  std::size_t n = components_.size();
+  components_.resize(config_.max_components);
+  const MotionVerdict verdict =
+      mog_observe(components_.data(), n, config_, metric_, value);
+  components_.resize(n);
   return verdict;
-}
-
-void ImmobilityModel::sort_by_priority() {
-  std::stable_sort(components_.begin(), components_.end(),
-                   [](const GaussianComponent& a, const GaussianComponent& b) {
-                     return a.priority() > b.priority();
-                   });
 }
 
 }  // namespace tagwatch::core

@@ -26,10 +26,20 @@
 //      update the mixture but classify as moving, which realizes the
 //      paper's "initially assume all tags are in motion, then immediately
 //      learn their immobility".
+//
+// The per-observation math lives in the inline mog_* free functions below,
+// shared verbatim between ImmobilityModel (the readable per-model class)
+// and the pooled component banks of core::ParallelAssessor — one
+// definition is what makes the parallel ingestion engine bit-identical to
+// the serial path by construction.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <vector>
+
+#include "util/circular.hpp"
 
 namespace tagwatch::core {
 
@@ -91,6 +101,141 @@ enum class MotionVerdict {
   kMoving,      ///< Matched nothing trusted: state change or new tag.
 };
 
+// ----------------------------------------------------- shared MoG math
+// The per-observation kernel over a raw component array, used by BOTH
+// ImmobilityModel::observe/classify and the pooled banks of
+// core::ParallelAssessor.  Both paths therefore evaluate the same
+// expression trees in the same order, which is what the bit-identity
+// guarantee of the parallel ingestion engine rests on — change the math
+// here and every consumer moves together.
+
+/// mog_find_match() return value when no component matches.
+inline constexpr std::size_t kMogNoMatch = static_cast<std::size_t>(-1);
+
+inline double mog_distance(Metric metric, double a, double b) {
+  return metric == Metric::kCircular ? util::circular_distance(a, b)
+                                     : std::abs(a - b);
+}
+
+inline double mog_blend(Metric metric, double mean, double value,
+                        double rho) {
+  return metric == Metric::kCircular
+             ? util::circular_lerp(mean, value, rho)
+             : mean + rho * (value - mean);
+}
+
+inline bool mog_matches(const ImmobilityConfig& config, Metric metric,
+                        const GaussianComponent& c, double value) {
+  const double band =
+      config.match_threshold * std::max(c.stddev, config.min_match_stddev);
+  return mog_distance(metric, value, c.mean) < band;
+}
+
+inline bool mog_trusted(const ImmobilityConfig& config,
+                        const GaussianComponent& c) noexcept {
+  return c.count >= config.trust_count && c.weight >= config.trust_weight &&
+         c.stddev <= config.trust_stddev;
+}
+
+/// Index of the highest-priority matching component in comps[0..n), or
+/// kMogNoMatch.  comps is kept sorted by descending priority, so the first
+/// hit is the best.
+inline std::size_t mog_find_match(const GaussianComponent* comps,
+                                  std::size_t n,
+                                  const ImmobilityConfig& config,
+                                  Metric metric, double value) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mog_matches(config, metric, comps[i], value)) return i;
+  }
+  return kMogNoMatch;
+}
+
+/// Stable descending-priority sort of comps[0..n).  Insertion sort: for
+/// n ≤ K it is the fastest option, needs no temporary buffer (unlike
+/// std::stable_sort, which allocates one per call), and being stable it
+/// produces exactly the permutation std::stable_sort would.
+inline void mog_sort_by_priority(GaussianComponent* comps, std::size_t n) {
+  for (std::size_t i = 1; i < n; ++i) {
+    const GaussianComponent key = comps[i];
+    const double priority = key.priority();
+    std::size_t j = i;
+    while (j > 0 && comps[j - 1].priority() < priority) {
+      comps[j] = comps[j - 1];
+      --j;
+    }
+    comps[j] = key;
+  }
+}
+
+/// Classifies `value` against comps[0..n) without learning.
+inline MotionVerdict mog_classify(const GaussianComponent* comps,
+                                  std::size_t n,
+                                  const ImmobilityConfig& config,
+                                  Metric metric, double value) {
+  const std::size_t match = mog_find_match(comps, n, config, metric, value);
+  if (match == kMogNoMatch) return MotionVerdict::kMoving;
+  return mog_trusted(config, comps[match]) ? MotionVerdict::kStationary
+                                           : MotionVerdict::kMoving;
+}
+
+/// Classifies and then applies the self-learning update to comps[0..n)
+/// in place, growing n on a no-match push.  `comps` must have room for
+/// config.max_components elements.  Returns the pre-update classification.
+inline MotionVerdict mog_observe(GaussianComponent* comps, std::size_t& n,
+                                 const ImmobilityConfig& config,
+                                 Metric metric, double value) {
+  const std::size_t match = mog_find_match(comps, n, config, metric, value);
+  const double alpha = config.learning_rate;
+
+  if (match == kMogNoMatch) {
+    // Case 2: no component explains the observation — the tag (or the
+    // environment) changed state.  Seed a new low-confidence component.
+    const GaussianComponent fresh{config.initial_weight, value,
+                                  config.initial_stddev, 1};
+    if (n < config.max_components) {
+      comps[n++] = fresh;
+    } else {
+      // Replace the lowest-priority component (comps sorted descending).
+      comps[n - 1] = fresh;
+    }
+    mog_sort_by_priority(comps, n);
+    return MotionVerdict::kMoving;
+  }
+
+  const MotionVerdict verdict = mog_trusted(config, comps[match])
+                                    ? MotionVerdict::kStationary
+                                    : MotionVerdict::kMoving;
+
+  // Case 1: matched — reinforce it, decay the rest (Eqn. 11).
+  for (std::size_t i = 0; i < n; ++i) {
+    GaussianComponent& c = comps[i];
+    if (i == match) {
+      c.weight = (1.0 - alpha) * c.weight + alpha;
+      ++c.count;
+      double rho;
+      if (c.count <= config.warmup_count) {
+        // Warm-up: converge to the sample statistics of absorbed values.
+        rho = 1.0 / static_cast<double>(c.count + 1);
+      } else {
+        // Steady state: ρ = α·η̂ with a unit-peak kernel so that samples in
+        // the component core adapt at rate α and fringe samples slower.
+        const double sigma = std::max(c.stddev, config.min_match_stddev);
+        const double z = mog_distance(metric, value, c.mean) / sigma;
+        rho = alpha * std::exp(-0.5 * z * z);
+      }
+      c.mean = mog_blend(metric, c.mean, value, rho);
+      const double residual = mog_distance(metric, value, c.mean);
+      c.stddev = std::min(std::sqrt((1.0 - rho) * c.stddev * c.stddev +
+                                    rho * residual * residual),
+                          config.initial_stddev);
+    } else {
+      c.weight = (1.0 - alpha) * c.weight;
+    }
+  }
+  mog_sort_by_priority(comps, n);
+  return verdict;
+}
+
 /// The per-(tag, antenna, channel) Gaussian-mixture immobility model.
 class ImmobilityModel {
  public:
@@ -119,16 +264,6 @@ class ImmobilityModel {
   Metric metric() const noexcept { return metric_; }
 
  private:
-  double distance(double a, double b) const;
-  double blend(double mean, double value, double rho) const;
-  bool matches(const GaussianComponent& c, double value) const;
-  bool trusted(const GaussianComponent& c) const noexcept;
-  /// Index of the highest-priority matching component, or npos.
-  std::size_t find_match(double value) const;
-  void sort_by_priority();
-
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
-
   ImmobilityConfig config_;
   Metric metric_;
   std::vector<GaussianComponent> components_;

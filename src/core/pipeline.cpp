@@ -4,6 +4,7 @@
 
 #include "core/assessor.hpp"
 #include "core/history.hpp"
+#include "core/parallel_assessor.hpp"
 
 namespace tagwatch::core {
 
@@ -62,11 +63,39 @@ void ReadingPipeline::dispatch(const rf::TagReading& reading,
       ++entry.stats.exceptions;
     }
     entry.stats.dispatch_seconds += clock_->now_seconds() - t0;
+    ++entry.stats.batches;
     if (accepted) {
       ++entry.stats.delivered;
     } else {
       ++entry.stats.dropped;
     }
+  }
+}
+
+void ReadingPipeline::dispatch_batch(
+    const std::vector<rf::TagReading>& readings,
+    const ReadingContext& context) {
+  if (readings.empty()) return;
+  dispatched_ += readings.size();
+  for (Entry& entry : entries_) {
+    const double t0 = clock_->now_seconds();
+    for (const rf::TagReading& reading : readings) {
+      bool accepted = false;
+      try {
+        accepted = entry.sink->on_reading(reading, context);
+      } catch (const std::exception&) {
+        // Same isolation as dispatch(): a throwing sink loses its own
+        // reading, never anyone else's.
+        ++entry.stats.exceptions;
+      }
+      if (accepted) {
+        ++entry.stats.delivered;
+      } else {
+        ++entry.stats.dropped;
+      }
+    }
+    entry.stats.dispatch_seconds += clock_->now_seconds() - t0;
+    ++entry.stats.batches;
   }
 }
 
@@ -96,6 +125,13 @@ bool HistorySink::on_reading(const rf::TagReading& reading,
 
 bool AssessorSink::on_reading(const rf::TagReading& reading,
                               const ReadingContext& context) {
+  (void)context;
+  assessor_->ingest(reading);
+  return true;
+}
+
+bool ParallelAssessorSink::on_reading(const rf::TagReading& reading,
+                                      const ReadingContext& context) {
   (void)context;
   assessor_->ingest(reading);
   return true;

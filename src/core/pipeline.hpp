@@ -23,6 +23,7 @@ namespace tagwatch::core {
 struct CycleReport;  // core/tagwatch.hpp
 class HistoryDatabase;
 class MotionAssessor;
+class ParallelAssessor;
 
 /// Which controller phase produced a reading.
 enum class ReadPhase {
@@ -63,6 +64,11 @@ struct SinkStats {
   /// in `dropped`) plus on_cycle_end throws.  A throwing sink is isolated:
   /// delivery continues to the remaining sinks and the cycle never crashes.
   std::uint64_t exceptions = 0;
+  /// Timed delivery calls: one per dispatch(), one per non-empty
+  /// dispatch_batch().  dispatch_seconds accrues one clock-pair per batch,
+  /// so `dispatch_seconds / batches` is the exact per-call cost under a
+  /// FakeWallClock.
+  std::uint64_t batches = 0;
   double dispatch_seconds = 0;  ///< Host wall time spent inside the sink.
 
   /// Mean per-reading dispatch cost in microseconds (0 when idle).
@@ -96,6 +102,15 @@ class ReadingPipeline {
 
   /// Delivers one reading to every sink, timing each dispatch.
   void dispatch(const rf::TagReading& reading, const ReadingContext& context);
+
+  /// Delivers a whole batch sink-by-sink (sink A sees the full batch
+  /// before sink B sees any of it — sinks are independent consumers, so
+  /// per-reading interleaving was never observable).  Accounting is exact
+  /// per reading (delivered/dropped/exceptions identical to dispatch()
+  /// called in a loop), but the wall clock is read once per sink per
+  /// batch instead of once per sink per reading.
+  void dispatch_batch(const std::vector<rf::TagReading>& readings,
+                      const ReadingContext& context);
 
   /// Forwards the cycle-end notification to every sink.
   void end_cycle(const CycleReport& report);
@@ -168,6 +183,22 @@ class AssessorSink final : public ReadingSink {
 
  private:
   MotionAssessor* assessor_;
+};
+
+/// AssessorSink for the sharded ingestion engine.  Shares the name
+/// "assessor" so the two are interchangeable within a pipeline.
+class ParallelAssessorSink final : public ReadingSink {
+ public:
+  /// `assessor` must outlive the sink.
+  explicit ParallelAssessorSink(ParallelAssessor& assessor)
+      : assessor_(&assessor) {}
+
+  std::string_view name() const override { return "assessor"; }
+  bool on_reading(const rf::TagReading& reading,
+                  const ReadingContext& context) override;
+
+ private:
+  ParallelAssessor* assessor_;
 };
 
 }  // namespace tagwatch::core

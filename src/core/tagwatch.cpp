@@ -22,11 +22,11 @@ std::uint8_t q_for_population(std::size_t n) {
 TagwatchController::TagwatchController(TagwatchConfig config,
                                        llrp::ReaderClient& client)
     : config_(std::move(config)), client_(&client),
-      assessor_(config_.assessor),
+      assessor_(config_.assessor, config_.assessor_threads),
       jitter_rng_(config_.resilience.retry.jitter_seed) {
   // Built-in consumers (Fig. 5): model training first, then the history
   // database; application and telemetry sinks append behind them.
-  pipeline_.add_sink(std::make_shared<AssessorSink>(assessor_));
+  pipeline_.add_sink(std::make_shared<ParallelAssessorSink>(assessor_));
   pipeline_.add_sink(std::make_shared<HistorySink>(history_));
   if (config_.wall_clock != nullptr) {
     pipeline_.set_wall_clock(*config_.wall_clock);
@@ -42,15 +42,17 @@ void TagwatchController::set_read_listener(gen2::ReadCallback listener) {
       std::make_shared<CallbackSink>("app", std::move(listener)));
 }
 
-void TagwatchController::deliver(const rf::TagReading& reading,
-                                 CycleReport& report, ReadPhase phase) {
+void TagwatchController::deliver_batch(
+    const std::vector<rf::TagReading>& readings, CycleReport& report,
+    ReadPhase phase) {
+  if (readings.empty()) return;
   if (phase == ReadPhase::kPhase2) {
-    ++report.phase2_readings;
-    ++report.phase2_counts[reading.epc];
+    report.phase2_readings += readings.size();
+    for (const rf::TagReading& r : readings) ++report.phase2_counts[r.epc];
   } else {
-    ++report.phase1_readings;
+    report.phase1_readings += readings.size();
   }
-  pipeline_.dispatch(reading, ReadingContext{report.cycle_index, phase});
+  pipeline_.dispatch_batch(readings, ReadingContext{report.cycle_index, phase});
 }
 
 std::shared_ptr<PipelineMetrics> attach_metrics(
@@ -218,10 +220,10 @@ void TagwatchController::run_phase2_selected(const Schedule& schedule,
                             gave_up);
       if (gave_up) phase2_failed = true;
       report.slot_totals += exec.report.slot_totals;
-      for (const auto& r : exec.report.readings) {
-        if (!first_read_) first_read_ = r.timestamp;
-        deliver(r, report, ReadPhase::kPhase2);
+      if (!exec.report.readings.empty() && !first_read_) {
+        first_read_ = exec.report.readings.front().timestamp;
       }
+      deliver_batch(exec.report.readings, report, ReadPhase::kPhase2);
     }
     // A fully failing pass that charges no time (e.g. retries disabled)
     // would loop forever on a dead reader: bail once the clock stalls.
@@ -296,10 +298,10 @@ CycleReport TagwatchController::run_cycle() {
   util::SimTime last_phase1_read{0};
   std::unordered_set<util::Epc> scene_set;
   for (const auto& r : phase1_exec.report.readings) {
-    deliver(r, report, ReadPhase::kPhase1);
     scene_set.insert(r.epc);
     last_phase1_read = std::max(last_phase1_read, r.timestamp);
   }
+  deliver_batch(phase1_exec.report.readings, report, ReadPhase::kPhase1);
   report.scene.assign(scene_set.begin(), scene_set.end());
   std::sort(report.scene.begin(), report.scene.end());
 
@@ -371,10 +373,10 @@ CycleReport TagwatchController::run_cycle() {
                           watchdog_deadline, report, gave_up);
     if (gave_up) phase2_failed = true;
     report.slot_totals += exec.report.slot_totals;
-    for (const auto& r : exec.report.readings) {
-      if (!first_read_) first_read_ = r.timestamp;
-      deliver(r, report, ReadPhase::kPhase2);
+    if (!exec.report.readings.empty() && !first_read_) {
+      first_read_ = exec.report.readings.front().timestamp;
     }
+    deliver_batch(exec.report.readings, report, ReadPhase::kPhase2);
   } else {
     run_phase2_selected(report.schedule, t_end, watchdog_deadline, report,
                         phase2_failed);

@@ -28,6 +28,7 @@
 
 #include "core/assessor.hpp"
 #include "core/history.hpp"
+#include "core/parallel_assessor.hpp"
 #include "core/pipeline.hpp"
 #include "core/resilience.hpp"
 #include "core/setcover.hpp"
@@ -47,6 +48,11 @@ enum class ScheduleMode {
 /// Controller configuration (paper §6 "parameter choice" defaults).
 struct TagwatchConfig {
   AssessorConfig assessor = {};
+  /// Worker threads (and shards) of the Phase-I ingestion engine.  Any
+  /// value produces bit-identical cycles, assessments and journal digests
+  /// (enforced by differential tests); raising it only buys ingestion
+  /// throughput on large scenes.
+  std::size_t assessor_threads = 1;
   /// Cost model used by the scheduler's relative-gain formula; fit it on
   /// measurements (bench_irr_model) or take the paper's values.
   InventoryCostModel cost_model = InventoryCostModel::paper_fit();
@@ -165,7 +171,7 @@ class TagwatchController {
   const ReadingPipeline& pipeline() const noexcept { return pipeline_; }
 
   const HistoryDatabase& history() const noexcept { return history_; }
-  MotionAssessor& assessor() noexcept { return assessor_; }
+  ParallelAssessor& assessor() noexcept { return assessor_; }
   const TagwatchConfig& config() const noexcept { return config_; }
   llrp::ReaderClient& client() noexcept { return *client_; }
   util::SimTime now() const noexcept { return client_->now(); }
@@ -182,8 +188,11 @@ class TagwatchController {
   }
 
  private:
-  void deliver(const rf::TagReading& reading, CycleReport& report,
-               ReadPhase phase);
+  /// Updates the report's per-phase counters for every reading in the
+  /// batch, then pushes the whole batch through the pipeline in one
+  /// dispatch_batch() call.
+  void deliver_batch(const std::vector<rf::TagReading>& readings,
+                     CycleReport& report, ReadPhase phase);
   llrp::ROSpec make_read_all_rospec(util::SimDuration duration) const;
   void run_phase2_selected(const Schedule& schedule, util::SimTime t_end,
                            util::SimTime watchdog_deadline,
@@ -207,7 +216,7 @@ class TagwatchController {
 
   TagwatchConfig config_;
   llrp::ReaderClient* client_;
-  MotionAssessor assessor_;
+  ParallelAssessor assessor_;
   HistoryDatabase history_;
   ReadingPipeline pipeline_;
   std::size_t cycle_counter_ = 0;

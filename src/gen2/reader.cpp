@@ -37,12 +37,48 @@ Gen2Reader::Gen2Reader(LinkTiming timing, ReaderConfig config,
 void Gen2Reader::transmit_select(const SelectCommand& cmd) {
   hop_if_due();
   world_->advance(timing_.select(cmd.mask.size()));
+  sync_flags();
   const util::SimTime t = world_->now();
-  for (std::size_t i = 0; i < world_->tags().size(); ++i) {
-    if (!world_->tag_present(i, t)) continue;
-    const util::Epc& epc = world_->tags()[i].epc;
-    apply_select_action(cmd, select_matches(cmd, epc), flags_[epc]);
+  const std::vector<sim::SimTag>& tags = world_->tags();
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    const sim::SimTag& tag = tags[i];
+    if (!sim::World::is_present(tag, t)) continue;
+    apply_select_action(cmd, select_matches(cmd, tag.epc), tag_flags_[i]);
   }
+}
+
+void Gen2Reader::sync_flags() {
+  const std::vector<sim::SimTag>& tags = world_->tags();
+  if (world_->structure_epoch() != flags_epoch_) {
+    // remove_tag() shifted indexes: stash every entry by EPC (departed
+    // tags keep their flags and resume them on re-entry, as real tags
+    // holding persistent session state would), then rebuild densely.
+    for (std::size_t i = 0; i < tag_flags_.size(); ++i) {
+      departed_.insert_or_assign(flag_epcs_[i], tag_flags_[i]);
+    }
+    tag_flags_.clear();
+    flag_epcs_.clear();
+    flags_epoch_ = world_->structure_epoch();
+  }
+  // Pure growth: new indexes append behind the existing ones.
+  for (std::size_t i = tag_flags_.size(); i < tags.size(); ++i) {
+    const util::Epc& epc = tags[i].epc;
+    const auto it = departed_.find(epc);
+    if (it != departed_.end()) {
+      tag_flags_.push_back(it->second);
+      departed_.erase(it);
+    } else {
+      tag_flags_.emplace_back();  // Power-up state: ~SL, all sessions A.
+    }
+    flag_epcs_.push_back(epc);
+  }
+}
+
+const TagFlags* Gen2Reader::find_flags(const util::Epc& epc) {
+  sync_flags();
+  if (const auto idx = world_->find_tag(epc)) return &tag_flags_[*idx];
+  const auto it = departed_.find(epc);
+  return it == departed_.end() ? nullptr : &it->second;
 }
 
 void Gen2Reader::set_active_antenna(std::size_t index) {
@@ -54,12 +90,14 @@ void Gen2Reader::set_active_antenna(std::size_t index) {
 
 std::vector<Gen2Reader::Participant> Gen2Reader::gather_participants(
     const QueryCommand& query) {
+  sync_flags();
   std::vector<Participant> parts;
   const util::SimTime t = world_->now();
-  for (std::size_t i = 0; i < world_->tags().size(); ++i) {
-    if (!world_->tag_present(i, t)) continue;
-    const sim::SimTag& tag = world_->tags()[i];
-    const TagFlags& f = flags_[tag.epc];
+  const std::vector<sim::SimTag>& tags = world_->tags();
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    const sim::SimTag& tag = tags[i];
+    if (!sim::World::is_present(tag, t)) continue;
+    const TagFlags& f = tag_flags_[i];
     if (query.sel == QuerySel::kSl && !f.sl) continue;
     if (query.sel == QuerySel::kNotSl && f.sl) continue;
     if (f.session_flag(query.session) != query.target) continue;
@@ -88,14 +126,14 @@ void Gen2Reader::hop_if_due() {
   }
 }
 
-std::size_t Gen2Reader::reply_bits(const util::Epc& epc) const {
+std::size_t Gen2Reader::reply_bits(const util::Epc& epc,
+                                   const TagFlags& flags) const {
   // Truncated replies (Select Truncate=1): the tag transmits only the EPC
   // bits following the matched mask; the reader reconstructs the rest from
   // the mask it sent.
-  const TagFlags* f = flags_.find(epc);
-  if (f && f->truncate_from != TagFlags::kNoTruncate &&
-      f->truncate_from < epc.size()) {
-    return epc.size() - f->truncate_from;
+  if (flags.truncate_from != TagFlags::kNoTruncate &&
+      flags.truncate_from < epc.size()) {
+    return epc.size() - flags.truncate_from;
   }
   return epc.size();
 }
@@ -146,10 +184,11 @@ void Gen2Reader::run_binary_tree(const QueryCommand& query,
         stack.push_back(std::move(group));
         continue;
       }
-      const util::Epc epc = world_->tags()[tag_index].epc;
-      world_->advance(timing_.success_slot(reply_bits(epc)));
+      TagFlags& flags = tag_flags_[tag_index];
+      const util::Epc& epc = world_->tags()[tag_index].epc;
+      world_->advance(timing_.success_slot(reply_bits(epc, flags)));
       ++stats.success_slots;
-      InvFlag& f = flags_[epc].session_flag(query.session);
+      InvFlag& f = flags.session_flag(query.session);
       f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA;
       if (on_read) on_read(make_reading(tag_index));
       continue;
@@ -283,11 +322,12 @@ RoundStats Gen2Reader::run_inventory_round(const QueryCommand& query,
         parts[pi].parked = true;
       } else {
         const std::size_t tag_index = parts[pi].tag_index;
-        const util::Epc epc = world_->tags()[tag_index].epc;
-        world_->advance(timing_.success_slot(reply_bits(epc)));
+        TagFlags& flags = tag_flags_[tag_index];
+        const util::Epc& epc = world_->tags()[tag_index].epc;
+        world_->advance(timing_.success_slot(reply_bits(epc, flags)));
         ++stats.success_slots;
         // Acknowledged tag inverts its inventoried flag for this session.
-        InvFlag& f = flags_[epc].session_flag(query.session);
+        InvFlag& f = flags.session_flag(query.session);
         f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA;
         if (on_read) on_read(make_reading(tag_index));
         parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(pi));
@@ -301,20 +341,22 @@ RoundStats Gen2Reader::run_inventory_round(const QueryCommand& query,
         std::size_t strongest = responders.front();
         double best_d = std::numeric_limits<double>::infinity();
         const util::SimTime t = world_->now();
+        const std::vector<sim::SimTag>& tags = world_->tags();
         for (const std::size_t pi : responders) {
           const double d = util::distance(
               antennas_[antenna_idx_].position,
-              world_->tags()[parts[pi].tag_index].motion->position(t));
+              tags[parts[pi].tag_index].motion->position(t));
           if (d < best_d) {
             best_d = d;
             strongest = pi;
           }
         }
         const std::size_t tag_index = parts[strongest].tag_index;
-        const util::Epc epc = world_->tags()[tag_index].epc;
-        world_->advance(timing_.success_slot(reply_bits(epc)));
+        TagFlags& flags = tag_flags_[tag_index];
+        const util::Epc& epc = tags[tag_index].epc;
+        world_->advance(timing_.success_slot(reply_bits(epc, flags)));
         ++stats.success_slots;
-        InvFlag& f = flags_[epc].session_flag(query.session);
+        InvFlag& f = flags.session_flag(query.session);
         f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA;
         if (on_read) on_read(make_reading(tag_index));
         // The captured tag leaves; the losers park as in a plain collision.

@@ -8,7 +8,9 @@
 // phase/RSSI drawn from the RF channel model at the exact slot time.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "gen2/commands.hpp"
@@ -113,8 +115,12 @@ class Gen2Reader {
   const rf::RfChannel& channel() const noexcept { return *channel_; }
   const LinkTiming& timing() const noexcept { return timing_; }
   const ReaderConfig& config() const noexcept { return config_; }
-  FlagStore& flags() noexcept { return flags_; }
   sim::World& world() noexcept { return *world_; }
+
+  /// Protocol flags of a tag (in the field or departed), or nullptr if the
+  /// reader has never interacted with it.  Diagnostics/tests; may refresh
+  /// the dense mirror against the world first.
+  const TagFlags* find_flags(const util::Epc& epc);
 
  private:
   struct Participant {
@@ -123,6 +129,13 @@ class Gen2Reader {
     bool parked = false;                   ///< Collided; waits for re-draw.
   };
 
+  /// Brings the dense per-tag-index flag mirror up to date with the world:
+  /// grows it for newly added tags and remaps it after remove_tag()
+  /// reindexing (detected via World::structure_epoch()).  Flags of departed
+  /// tags are stashed by EPC and resume if the tag is re-added — the exact
+  /// semantics the old EPC-keyed FlagStore provided, without its per-slot
+  /// hash lookups.
+  void sync_flags();
   /// Tags in the field whose flags satisfy the query's Sel/session/target.
   std::vector<Participant> gather_participants(const QueryCommand& query);
   /// Tree-splitting arbitration (kBinaryTree policy).
@@ -132,7 +145,7 @@ class Gen2Reader {
   void redraw_slots(std::vector<Participant>& parts, std::uint32_t frame_size);
   void hop_if_due();
   /// EPC bits a tag actually backscatters (full, or truncated per Select).
-  std::size_t reply_bits(const util::Epc& epc) const;
+  std::size_t reply_bits(const util::Epc& epc, const TagFlags& flags) const;
   rf::TagReading make_reading(std::size_t tag_index);
 
   LinkTiming timing_;
@@ -141,7 +154,14 @@ class Gen2Reader {
   const rf::RfChannel* channel_;
   std::vector<rf::Antenna> antennas_;
   util::Rng rng_;
-  FlagStore flags_;
+  /// Dense protocol-flag mirror, indexed like world tags (hot path: no
+  /// hashing per slot).  flag_epcs_ records which EPC each entry belongs
+  /// to so a world reindex can be remapped; departed_ keeps the flags of
+  /// removed tags alive for possible re-entry.
+  std::vector<TagFlags> tag_flags_;
+  std::vector<util::Epc> flag_epcs_;
+  std::unordered_map<util::Epc, TagFlags> departed_;
+  std::uint64_t flags_epoch_ = 0;
   std::size_t antenna_idx_ = 0;
   std::size_t channel_idx_ = 0;
   std::size_t hop_counter_ = 0;

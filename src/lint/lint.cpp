@@ -298,6 +298,65 @@ void check_include_order(const SourceFile& file, const std::string& raw,
   }
 }
 
+// ------------------------------------------------------------- rule T
+
+/// The one sanctioned home for raw threads (util::TaskPool's own files);
+/// everywhere else concurrency must route through the pool so fork/join
+/// structure — and with it, determinism — is preserved by construction.
+bool is_task_pool_file(std::string_view path) {
+  return path.find("src/util/task_pool.") != std::string_view::npos;
+}
+
+void check_threading(const SourceFile& file, const std::string& scrubbed,
+                     std::vector<Finding>& out) {
+  if (is_task_pool_file(file.path)) return;
+  // (a) Raw thread primitives.  Only the std::-qualified spelling is
+  // flagged: plain `thread` is a common variable name.
+  for (const std::string_view prim :
+       {std::string_view("thread"), std::string_view("jthread"),
+        std::string_view("async")}) {
+    std::size_t pos = 0;
+    while ((pos = find_identifier(scrubbed, prim, pos)) !=
+           std::string::npos) {
+      if (pos >= 5 && scrubbed.compare(pos - 5, 5, "std::") == 0) {
+        out.push_back({file.path, line_of(scrubbed, pos),
+                       "threading-discipline",
+                       "raw std::" + std::string(prim) +
+                           "; route concurrency through util::TaskPool"});
+      }
+      pos += prim.size();
+    }
+  }
+  // (b) detach() orphans a thread past its owner's lifetime; (c) explicit
+  // lock()/unlock() member calls — mutexes are held via RAII guards
+  // (std::lock_guard / std::scoped_lock / std::unique_lock) only, so no
+  // early return or exception can leave one held.
+  for (const std::string_view member :
+       {std::string_view("detach"), std::string_view("lock"),
+        std::string_view("unlock")}) {
+    std::size_t pos = 0;
+    while ((pos = find_identifier(scrubbed, member, pos)) !=
+           std::string::npos) {
+      const bool via_dot = pos >= 1 && scrubbed[pos - 1] == '.';
+      const bool via_arrow = pos >= 2 && scrubbed[pos - 2] == '-' &&
+                             scrubbed[pos - 1] == '>';
+      const std::size_t after = skip_ws(scrubbed, pos + member.size());
+      const bool is_call = after < scrubbed.size() && scrubbed[after] == '(';
+      if ((via_dot || via_arrow) && is_call) {
+        const std::string message =
+            member == "detach"
+                ? "detach() orphans the thread; join via util::TaskPool"
+                : "explicit " + std::string(member) +
+                      "() call; hold mutexes with RAII guards "
+                      "(std::lock_guard/std::scoped_lock)";
+        out.push_back({file.path, line_of(scrubbed, pos),
+                       "threading-discipline", message});
+      }
+      pos += member.size();
+    }
+  }
+}
+
 // ------------------------------------------------------------- rule P
 
 void check_pipeline_reentrancy(const SourceFile& file,
@@ -597,8 +656,9 @@ std::size_t line_of(const std::string& text, std::size_t pos) {
 
 const std::vector<std::string>& RuleEngine::rule_names() {
   static const std::vector<std::string> names = {
-      "determinism",          "header-pragma-once", "header-using-namespace",
-      "include-order",        "pipeline-reentrancy", "journal-discipline"};
+      "determinism",          "header-pragma-once",  "header-using-namespace",
+      "include-order",        "pipeline-reentrancy", "journal-discipline",
+      "threading-discipline"};
   return names;
 }
 
@@ -612,6 +672,7 @@ LintReport RuleEngine::run(const std::vector<SourceFile>& files) const {
     check_using_namespace(file, scrubbed, raw_findings);
     check_include_order(file, file.content, raw_findings);
     check_pipeline_reentrancy(file, scrubbed, raw_findings);
+    check_threading(file, scrubbed, raw_findings);
   }
   check_journal_discipline(files, raw_findings);
 

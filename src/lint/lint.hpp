@@ -21,6 +21,10 @@
 //   journal-discipline     (J) ReaderErrorKind enumerators and journal
 //                              record tags are handled in serializer,
 //                              parser, and health digest alike
+//   threading-discipline   (T) raw std::thread/std::jthread/std::async and
+//                              detach() only inside util::TaskPool's own
+//                              files; mutexes held via RAII guards, never
+//                              explicit lock()/unlock()
 //
 // Escape hatch: a finding on line N is suppressed when line N or N-1
 // carries `// tagwatch-lint: allow(<rule>)` — meant to be rare, justified

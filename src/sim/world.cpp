@@ -33,6 +33,7 @@ bool World::remove_tag(const util::Epc& epc) {
   for (std::size_t i = idx; i < tags_.size(); ++i) {
     index_[tags_[i].epc] = i;
   }
+  ++structure_epoch_;  // Every index past idx just shifted.
   return true;
 }
 
@@ -43,10 +44,7 @@ std::optional<std::size_t> World::find_tag(const util::Epc& epc) const {
 }
 
 bool World::tag_present(std::size_t i, util::SimTime t) const {
-  const SimTag& tag = tags_.at(i);
-  if (t < tag.arrives) return false;
-  if (tag.departs && t >= *tag.departs) return false;
-  return true;
+  return is_present(tags_.at(i), t);
 }
 
 std::vector<rf::Reflector> World::reflectors_at(util::SimTime t) const {

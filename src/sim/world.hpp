@@ -1,6 +1,7 @@
 // The simulated scene: tags, environmental reflectors, and the clock.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -63,6 +64,20 @@ class World {
   /// True if the tag indexed by `i` is in range at time `t`.
   bool tag_present(std::size_t i, util::SimTime t) const;
 
+  /// tag_present() without the index lookup, for callers already iterating
+  /// tags() (the Gen2 hot loops).
+  static bool is_present(const SimTag& tag, util::SimTime t) noexcept {
+    if (t < tag.arrives) return false;
+    if (tag.departs && t >= *tag.departs) return false;
+    return true;
+  }
+
+  /// Bumped whenever tag indexes are invalidated (remove_tag() reindexes
+  /// the tail).  Index-keyed caches (the reader's dense flag mirror)
+  /// compare this to detect that they must remap; pure growth via
+  /// add_tag() keeps old indexes valid and does NOT bump it.
+  std::uint64_t structure_epoch() const noexcept { return structure_epoch_; }
+
   /// Snapshot of all reflector positions at time `t` for the RF channel.
   std::vector<rf::Reflector> reflectors_at(util::SimTime t) const;
 
@@ -79,6 +94,7 @@ class World {
   std::vector<SimReflector> reflectors_;
   std::unordered_map<util::Epc, std::size_t> index_;
   util::SimTime now_{0};
+  std::uint64_t structure_epoch_ = 0;
 };
 
 }  // namespace tagwatch::sim

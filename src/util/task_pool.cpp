@@ -1,0 +1,82 @@
+#include "util/task_pool.hpp"
+
+#include <algorithm>
+
+namespace tagwatch::util {
+
+TaskPool::TaskPool(std::size_t threads)
+    : thread_count_(std::max<std::size_t>(threads, 1)) {
+  workers_.reserve(thread_count_ - 1);
+  for (std::size_t w = 1; w < thread_count_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void TaskPool::run_slice(std::size_t executor) {
+  for (std::size_t i = executor; i < tasks_; i += thread_count_) {
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void TaskPool::worker_main(std::size_t executor) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_slice(executor);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void TaskPool::run(std::size_t tasks,
+                   const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (thread_count_ == 1) {
+    // Inline degenerate mode: no handoff, exceptions propagate directly.
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tasks_ = tasks;
+    fn_ = &fn;
+    workers_done_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_slice(0);  // The caller is executor 0.
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return workers_done_ == thread_count_ - 1; });
+    fn_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace tagwatch::util

@@ -1,0 +1,69 @@
+// Deterministic fork/join worker pool.
+//
+// The one sanctioned home for raw threads in the tree (the
+// threading-discipline lint rule blocks std::thread/std::async everywhere
+// else): parallel code in journaled paths must express itself as TaskPool
+// fork/join regions so that *what* runs is a pure function of the input,
+// never of scheduling luck.  run(n, fn) executes fn(0..n-1) with task i
+// statically assigned to executor (i % thread_count) — the caller is
+// executor 0, the workers 1..T-1 — and returns only after every task
+// finished, rethrowing the first captured exception.  The pool reads no
+// clock and no entropy source, so it is safe to call from
+// replay-deterministic code (core::ParallelAssessor is the first user).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tagwatch::util {
+
+/// Fixed-size fork/join pool with deterministic task-to-executor mapping.
+class TaskPool {
+ public:
+  /// Creates max(threads, 1) executors: the calling thread plus
+  /// threads - 1 background workers.  threads == 1 spawns nothing and
+  /// run() degenerates to an inline loop.
+  explicit TaskPool(std::size_t threads = 1);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Executors participating in run(): workers + the caller.
+  std::size_t thread_count() const noexcept { return thread_count_; }
+
+  /// Runs fn(i) for every i in [0, tasks) and blocks until all finished
+  /// (the join barrier).  Task i always runs on executor i % thread_count,
+  /// so the partition of work onto threads depends only on (tasks,
+  /// thread_count).  The first exception thrown by any task is rethrown
+  /// here after the barrier; the remaining tasks still run.  Not
+  /// reentrant: fn must not call run() on the same pool.
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_main(std::size_t executor);
+  /// Executes this executor's statically assigned slice of [0, tasks_).
+  void run_slice(std::size_t executor);
+
+  std::size_t thread_count_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  /// Bumped per run(); workers wake when it moves past what they have seen.
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::size_t tasks_ = 0;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t workers_done_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace tagwatch::util

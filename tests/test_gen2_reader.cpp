@@ -265,5 +265,104 @@ TEST(Gen2Reader, AntennaSelectionIsReported) {
   EXPECT_THROW(fx.reader->set_active_antenna(2), std::out_of_range);
 }
 
+// ------------------------------------------------------ dense flag mirror
+// The reader keeps protocol flags in a dense per-tag-index vector instead
+// of the EPC-keyed FlagStore.  These tests pin the mirror to the store's
+// exact semantics: Select application, survival across world reindexing,
+// resumption on re-entry, and power-up state for new tags.
+
+TEST(Gen2ReaderFlags, SelectMirrorsFlagStoreSemantics) {
+  ReaderFixture fx(12);
+  // The same Select sequence applied through the old EPC-keyed FlagStore
+  // is the oracle for the dense mirror.
+  FlagStore oracle;
+  std::vector<util::Epc> epcs;
+  for (const auto& t : fx.world.tags()) epcs.push_back(t.epc);
+
+  std::vector<SelectCommand> sequence(3);
+  sequence[0].target = SelectTarget::kSl;
+  sequence[0].mask = epcs[3].bits().substring(0, 20);
+  sequence[1].target = SelectTarget::kSessionS1;
+  sequence[1].action = SelectAction::kAssertMatchedOnly;
+  sequence[1].mask = epcs[7].bits().substring(0, 12);
+  sequence[2].target = SelectTarget::kSl;
+  sequence[2].action = SelectAction::kToggleMatched;
+  sequence[2].mask = epcs[3].bits().substring(0, 8);
+  sequence[2].truncate = true;
+
+  for (const SelectCommand& cmd : sequence) {
+    fx.reader->transmit_select(cmd);
+    oracle.broadcast_select(cmd, epcs);
+  }
+  for (const util::Epc& epc : epcs) {
+    const TagFlags* mirror = fx.reader->find_flags(epc);
+    const TagFlags* expected = oracle.find(epc);
+    ASSERT_NE(mirror, nullptr) << epc.to_hex();
+    ASSERT_NE(expected, nullptr) << epc.to_hex();
+    EXPECT_EQ(mirror->sl, expected->sl) << epc.to_hex();
+    EXPECT_EQ(mirror->inventoried, expected->inventoried) << epc.to_hex();
+    EXPECT_EQ(mirror->truncate_from, expected->truncate_from)
+        << epc.to_hex();
+  }
+}
+
+TEST(Gen2ReaderFlags, FlagsSurviveRemovalAndResumeOnReAdd) {
+  ReaderFixture fx(10);
+  // One full round flips every tag's S0 flag A -> B.
+  ASSERT_EQ(fx.run_round().size(), 10u);
+  const util::Epc victim = util::Epc::from_serial(4);
+  const TagFlags* before = fx.reader->find_flags(victim);
+  ASSERT_NE(before, nullptr);
+  ASSERT_EQ(before->session_flag(Session::kS0), InvFlag::kB);
+
+  // Removing the tag reindexes the world; the other nine keep their
+  // flags (nobody answers a kA-target round) and the departed tag's
+  // state stays queryable.
+  ASSERT_TRUE(fx.world.remove_tag(victim));
+  EXPECT_TRUE(fx.run_round().empty());
+  const TagFlags* departed = fx.reader->find_flags(victim);
+  ASSERT_NE(departed, nullptr);
+  EXPECT_EQ(departed->session_flag(Session::kS0), InvFlag::kB);
+
+  // Re-entry resumes the stashed flags: still on B, so the returning tag
+  // does not answer a kA round either — exactly what the EPC-keyed store
+  // did.
+  sim::SimTag back;
+  back.epc = victim;
+  back.motion = std::make_shared<sim::StaticMotion>(util::Vec3{0, 0, 0});
+  fx.world.add_tag(std::move(back));
+  EXPECT_TRUE(fx.run_round().empty());
+  QueryCommand qb;
+  qb.target = InvFlag::kB;
+  EXPECT_EQ(fx.run_round(qb).size(), 10u);
+}
+
+TEST(Gen2ReaderFlags, NewWorldTagsGetPowerUpFlags) {
+  ReaderFixture fx(6);
+  ASSERT_EQ(fx.run_round().size(), 6u);  // Everyone flips to B.
+
+  sim::SimTag fresh;
+  fresh.epc = util::Epc::from_serial(1000);
+  fresh.motion = std::make_shared<sim::StaticMotion>(util::Vec3{0, 0, 0});
+  fx.world.add_tag(std::move(fresh));
+
+  const TagFlags* flags = fx.reader->find_flags(util::Epc::from_serial(1000));
+  ASSERT_NE(flags, nullptr);
+  EXPECT_FALSE(flags->sl);
+  EXPECT_EQ(flags->session_flag(Session::kS0), InvFlag::kA);
+  EXPECT_EQ(flags->truncate_from, TagFlags::kNoTruncate);
+
+  // Only the fresh tag participates in the next kA round.
+  const auto reads = fx.run_round();
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].epc, util::Epc::from_serial(1000));
+}
+
+TEST(Gen2ReaderFlags, UnknownEpcHasNoFlags) {
+  ReaderFixture fx(3);
+  fx.run_round();
+  EXPECT_EQ(fx.reader->find_flags(util::Epc::from_serial(777)), nullptr);
+}
+
 }  // namespace
 }  // namespace tagwatch::gen2

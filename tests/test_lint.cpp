@@ -298,6 +298,60 @@ TEST(LintAllow, SameLineAnnotationSuppresses) {
   EXPECT_EQ(r.allow_annotations, 1u);
 }
 
+// --------------------------------------------- threading-discipline (T)
+
+TEST(LintThreading, FlagsRawStdThreadPrimitives) {
+  EXPECT_TRUE(has_rule(run_one("src/core/bad.cpp",
+                               "std::thread t([] { work(); });\n"),
+                       "threading-discipline"));
+  EXPECT_TRUE(has_rule(run_one("src/core/bad.cpp",
+                               "std::jthread t([] { work(); });\n"),
+                       "threading-discipline"));
+  EXPECT_TRUE(has_rule(
+      run_one("src/core/bad.cpp",
+              "auto f = std::async(std::launch::async, work);\n"),
+      "threading-discipline"));
+}
+
+TEST(LintThreading, UnqualifiedNamesAreNotFlagged) {
+  // `thread` / `async` are ordinary identifiers without the std:: prefix.
+  EXPECT_TRUE(run_one("src/core/ok.cpp",
+                      "int thread = 0;\nbool async = launch(thread);\n")
+                  .findings.empty());
+}
+
+TEST(LintThreading, FlagsDetachAndExplicitLockCalls) {
+  EXPECT_TRUE(has_rule(run_one("src/core/bad.cpp", "worker.detach();\n"),
+                       "threading-discipline"));
+  EXPECT_TRUE(has_rule(run_one("src/core/bad.cpp", "mutex_.lock();\n"),
+                       "threading-discipline"));
+  EXPECT_TRUE(has_rule(run_one("src/core/bad.cpp", "guard->unlock ();\n"),
+                       "threading-discipline"));
+}
+
+TEST(LintThreading, RaiiGuardsAndNonCallUsesAreNotFlagged) {
+  // RAII guards name the lock types, never call lock()/unlock() members.
+  EXPECT_TRUE(run_one("src/core/ok.cpp",
+                      "std::lock_guard<std::mutex> guard(mutex_);\n"
+                      "std::scoped_lock all(a_, b_);\n")
+                  .findings.empty());
+  // Member *named* lock but not called; free function detach(x).
+  EXPECT_TRUE(run_one("src/core/ok.cpp",
+                      "auto fn = obj.lock;\ndetach(worker);\n")
+                  .findings.empty());
+}
+
+TEST(LintThreading, TaskPoolFilesAreExempt) {
+  const char* body = "std::thread t([] {});\nmutex_.lock();\n";
+  EXPECT_TRUE(run_one("src/util/task_pool.cpp", body).findings.empty());
+  // (has_rule, not findings.empty(): the header rules still apply to a
+  // fixture .hpp with no #pragma once — only the T rule is exempt.)
+  EXPECT_FALSE(has_rule(run_one("src/util/task_pool.hpp", body),
+                        "threading-discipline"));
+  EXPECT_TRUE(has_rule(run_one("src/util/other.cpp", body),
+                       "threading-discipline"));
+}
+
 TEST(LintAllow, AnnotationOnLineAboveSuppresses) {
   const LintReport r = run_one(
       "src/core/waiver.cpp",
@@ -328,8 +382,9 @@ TEST(LintAllow, UnknownRuleNamesAreNotAnnotations) {
 TEST(LintEngine, RuleNamesAreStable) {
   const auto& names = RuleEngine::rule_names();
   const std::vector<std::string> expected = {
-      "determinism",   "header-pragma-once",  "header-using-namespace",
-      "include-order", "pipeline-reentrancy", "journal-discipline"};
+      "determinism",          "header-pragma-once",  "header-using-namespace",
+      "include-order",        "pipeline-reentrancy", "journal-discipline",
+      "threading-discipline"};
   EXPECT_EQ(names, expected);
 }
 

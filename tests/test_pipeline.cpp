@@ -221,6 +221,89 @@ TEST(ReadingPipeline, ThrowingSinkStillChargesDispatchTime) {
   EXPECT_DOUBLE_EQ(stats[0].dispatch_seconds, 0.5);
 }
 
+// ------------------------------------------------------- batch dispatch
+
+std::vector<rf::TagReading> make_batch(std::size_t n) {
+  std::vector<rf::TagReading> batch;
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(make_reading(i * 100));
+  }
+  return batch;
+}
+
+TEST(ReadingPipeline, BatchDispatchCountsMatchPerReadingDispatch) {
+  // Accounting equivalence: delivered / dropped / exceptions / total are
+  // exactly what N individual dispatch() calls would have produced; only
+  // the wall-clock charging is amortized (one clock-pair per batch).
+  const auto batch = make_batch(9);
+  ReadingPipeline batched;
+  ReadingPipeline serial;
+  for (ReadingPipeline* p : {&batched, &serial}) {
+    p->add_sink(std::make_shared<CountingSink>("taker"));
+    p->add_sink(std::make_shared<CountingSink>("refuser", /*accept=*/false));
+    p->add_sink(std::make_shared<ThrowingSink>("bomb", /*every=*/3));
+  }
+  batched.dispatch_batch(batch, {/*cycle_index=*/1, ReadPhase::kPhase1});
+  for (const rf::TagReading& r : batch) {
+    serial.dispatch(r, {/*cycle_index=*/1, ReadPhase::kPhase1});
+  }
+  const auto bs = batched.stats();
+  const auto ss = serial.stats();
+  ASSERT_EQ(bs.size(), ss.size());
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    SCOPED_TRACE(bs[i].name);
+    EXPECT_EQ(bs[i].delivered, ss[i].delivered);
+    EXPECT_EQ(bs[i].dropped, ss[i].dropped);
+    EXPECT_EQ(bs[i].exceptions, ss[i].exceptions);
+  }
+  EXPECT_EQ(batched.dispatched_total(), serial.dispatched_total());
+  // The batch charges one timed call per sink; the loop charges nine.
+  EXPECT_EQ(bs[0].batches, 1u);
+  EXPECT_EQ(ss[0].batches, 9u);
+}
+
+TEST(ReadingPipeline, BatchDispatchThrowingSinkLosesOnlyItsOwnReadings) {
+  ReadingPipeline pipeline;
+  auto before = std::make_shared<CountingSink>("before");
+  auto bomb = std::make_shared<ThrowingSink>("bomb", /*every=*/2);
+  auto after = std::make_shared<CountingSink>("after");
+  pipeline.add_sink(before);
+  pipeline.add_sink(bomb);
+  pipeline.add_sink(after);
+
+  pipeline.dispatch_batch(make_batch(6), {});
+
+  const auto stats = pipeline.stats();
+  EXPECT_EQ(stats[0].delivered, 6u);
+  EXPECT_EQ(stats[2].delivered, 6u);
+  EXPECT_EQ(after->seen_, 6u);
+  EXPECT_EQ(stats[1].delivered, 3u);
+  EXPECT_EQ(stats[1].dropped, 3u);
+  EXPECT_EQ(stats[1].exceptions, 3u);
+}
+
+TEST(ReadingPipeline, BatchDispatchClockChargingIsExact) {
+  // One clock-pair per sink per non-empty batch under a FakeWallClock:
+  // dispatch_seconds is exactly one auto-step regardless of batch size.
+  ReadingPipeline pipeline;
+  util::FakeWallClock clock(/*auto_step=*/0.25);
+  pipeline.set_wall_clock(clock);
+  pipeline.add_sink(std::make_shared<CountingSink>("a"));
+  pipeline.add_sink(std::make_shared<CountingSink>("b"));
+
+  pipeline.dispatch_batch(make_batch(100), {});
+  pipeline.dispatch_batch({}, {});  // Empty: no charge, no batch counted.
+  pipeline.dispatch_batch(make_batch(1), {});
+
+  for (const auto& stats : pipeline.stats()) {
+    SCOPED_TRACE(stats.name);
+    EXPECT_EQ(stats.batches, 2u);
+    EXPECT_DOUBLE_EQ(stats.dispatch_seconds, 0.5);
+    EXPECT_EQ(stats.delivered, 101u);
+  }
+  EXPECT_EQ(pipeline.dispatched_total(), 101u);
+}
+
 // ------------------------------------------------- controller integration
 
 struct PipelineBed {
@@ -361,13 +444,55 @@ TEST(TagwatchController, FakeWallClockMakesComputeTimingExact) {
     EXPECT_DOUBLE_EQ(r.schedule_compute_ms, 2.0);
   }
 
-  // The controller's clock also drives the pipeline: per-sink dispatch
-  // cost is one step per reading.
+  // The controller's clock also drives the pipeline: deliveries arrive in
+  // batches, and each non-empty batch charges exactly one clock-pair (one
+  // step) per sink regardless of how many readings it carries.
   // (NEAR, not DOUBLE_EQ: 0.002 is not exactly representable, so summing
   // clock deltas accumulates ulps.)
   for (const auto& stats : ctl.pipeline().stats()) {
     SCOPED_TRACE(stats.name);
-    EXPECT_NEAR(stats.mean_dispatch_us(), 2000.0, 1e-6);
+    EXPECT_GT(stats.batches, 0u);
+    EXPECT_NEAR(stats.dispatch_seconds,
+                0.002 * static_cast<double>(stats.batches), 1e-9);
+  }
+}
+
+TEST(TagwatchController, AssessorThreadCountIsObservationallyInvisible) {
+  // The whole point of the parallel ingestion engine: any thread count
+  // yields byte-identical cycles.  Same world seed, different
+  // assessor_threads — every report field that feeds scheduling, metrics,
+  // or the journal must match exactly.
+  std::vector<std::vector<CycleReport>> runs;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    PipelineBed bed(24, 3, 91);
+    TagwatchConfig cfg;
+    cfg.phase2_duration = util::msec(250);
+    cfg.assessor_threads = threads;
+    // Real host-clock readings would charge run-to-run-varying compute
+    // time onto the simulated timeline; a fake clock keeps both runs on
+    // identical footing so any mismatch is the thread count's fault.
+    util::FakeWallClock clock(/*auto_step=*/0.001);
+    cfg.wall_clock = &clock;
+    TagwatchController ctl(cfg, *bed.client);
+    runs.push_back(ctl.run_cycles(3));
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t c = 0; c < runs[0].size(); ++c) {
+    SCOPED_TRACE("cycle " + std::to_string(c));
+    const CycleReport& a = runs[0][c];
+    const CycleReport& b = runs[1][c];
+    EXPECT_EQ(b.scene, a.scene);
+    EXPECT_EQ(b.mobile, a.mobile);
+    EXPECT_EQ(b.targets, a.targets);
+    EXPECT_EQ(b.read_all_fallback, a.read_all_fallback);
+    EXPECT_EQ(b.phase1_readings, a.phase1_readings);
+    EXPECT_EQ(b.phase2_readings, a.phase2_readings);
+    EXPECT_EQ(b.phase1_duration, a.phase1_duration);
+    EXPECT_EQ(b.phase2_duration, a.phase2_duration);
+    EXPECT_EQ(b.interphase_gap, a.interphase_gap);
+    EXPECT_EQ(b.phase2_counts, a.phase2_counts);
+    EXPECT_EQ(b.slot_totals.slots, a.slot_totals.slots);
+    EXPECT_EQ(b.slot_totals.duration, a.slot_totals.duration);
   }
 }
 

@@ -88,7 +88,8 @@ core::GreedyEvaluation parse_evaluation(const std::string& evaluation) {
 constexpr const char* kAcceptedKeys[] = {
     "tags", "movers", "mover_speed", "people", "mode", "cycles",
     "phase2_seconds", "channels", "seed", "pinned_targets", "irr_top",
-    "export_schedule", "votes", "k", "record_journal", "replay_journal",
+    "export_schedule", "votes", "k", "assessor_threads", "record_journal",
+    "replay_journal",
     "pipeline_stats", "fault_injection", "fault_rate", "fault_seed",
     "fault_drop_rate", "fault_duplicate_rate", "fault_corrupt_rate",
     "fault_reconnect_ms", "retry_attempts", "degrade_after",
@@ -299,6 +300,10 @@ int run(int argc, char** argv) {
       static_cast<std::size_t>(int_in(cfg, "votes", 1, 1, 100));
   twcfg.assessor.detector.phase_mog.max_components =
       static_cast<std::size_t>(int_in(cfg, "k", 8, 1, 64));
+  // Any value is bit-identical to 1 (the differential tests enforce it);
+  // raising it only buys ingestion throughput on large scenes.
+  twcfg.assessor_threads =
+      static_cast<std::size_t>(int_in(cfg, "assessor_threads", 1, 1, 64));
   twcfg.resilience.retry.max_attempts =
       static_cast<std::size_t>(int_in(cfg, "retry_attempts", 3, 1, 10));
   twcfg.resilience.degrade_after_failures =
