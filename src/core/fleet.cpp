@@ -1,0 +1,228 @@
+#include "core/fleet.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tagwatch::core {
+
+const char* to_string(SessionPolicy policy) {
+  switch (policy) {
+    case SessionPolicy::kIndependent: return "independent";
+    case SessionPolicy::kShared: return "shared";
+    case SessionPolicy::kPerReader: return "per-reader";
+  }
+  return "unknown";
+}
+
+SessionPolicy session_policy_from_string(std::string_view name) {
+  if (name == "independent") return SessionPolicy::kIndependent;
+  if (name == "shared") return SessionPolicy::kShared;
+  if (name == "per-reader") return SessionPolicy::kPerReader;
+  throw std::invalid_argument("unknown session policy '" + std::string(name) +
+                              "' (expected independent|shared|per-reader)");
+}
+
+// --------------------------------------------------------------- ZoneLedger
+
+void ZoneLedger::sync() {
+  const std::vector<sim::SimTag>& tags = world_->tags();
+  if (world_->structure_epoch() != epoch_) {
+    // remove_tag() shifted indexes: stash ownership by EPC (a removed tag
+    // that re-enters keeps its owner, so its first re-sighting by another
+    // reader is still a handoff), then rebuild densely.
+    for (std::size_t i = 0; i < owner_.size(); ++i) {
+      if (owner_[i] != kUnowned) departed_.insert_or_assign(epcs_[i], owner_[i]);
+    }
+    owner_.clear();
+    epcs_.clear();
+    epoch_ = world_->structure_epoch();
+  }
+  for (std::size_t i = owner_.size(); i < tags.size(); ++i) {
+    const util::Epc& epc = tags[i].epc;
+    const auto it = departed_.find(epc);
+    if (it != departed_.end()) {
+      owner_.push_back(it->second);
+      departed_.erase(it);
+    } else {
+      owner_.push_back(kUnowned);
+    }
+    epcs_.push_back(epc);
+  }
+}
+
+std::size_t ZoneLedger::assign(const util::Epc& epc, std::size_t reader) {
+  if (world_ == nullptr) {
+    const auto it = by_epc_.find(epc);
+    const std::size_t prev = it == by_epc_.end() ? kUnowned : it->second;
+    by_epc_[epc] = reader;
+    return prev;
+  }
+  sync();
+  if (const auto idx = world_->find_tag(epc)) {
+    const std::size_t prev = owner_[*idx];
+    owner_[*idx] = reader;
+    return prev;
+  }
+  // Reading for a tag no longer in the world (removed since it was read):
+  // track it through the departed stash.
+  const auto it = departed_.find(epc);
+  const std::size_t prev = it == departed_.end() ? kUnowned : it->second;
+  departed_[epc] = reader;
+  return prev;
+}
+
+// ------------------------------------------------------------ TapSink
+
+/// Copies every reading a per-reader controller dispatches (both phases)
+/// into a buffer the fleet drains after the reader's cycle.  Registered
+/// last in the per-reader pipeline, so the reader's own sinks (assessor,
+/// history) saw the reading first.
+class FleetController::TapSink final : public ReadingSink {
+ public:
+  struct Tapped {
+    rf::TagReading reading;
+    ReadPhase phase = ReadPhase::kPhase1;
+  };
+
+  std::string_view name() const override { return "fleet-tap"; }
+
+  bool on_reading(const rf::TagReading& reading,
+                  const ReadingContext& context) override {
+    buffer_.push_back({reading, context.phase});
+    return true;
+  }
+
+  std::vector<Tapped> drain() { return std::exchange(buffer_, {}); }
+
+ private:
+  std::vector<Tapped> buffer_;
+};
+
+// ------------------------------------------------------- FleetController
+
+FleetController::FleetController(FleetConfig config,
+                                 std::vector<FleetReaderSpec> readers,
+                                 const sim::World* world)
+    : config_(std::move(config)), ledger_(world) {
+  if (readers.empty()) {
+    throw std::invalid_argument("FleetController: need at least one reader");
+  }
+  readers_.reserve(readers.size());
+  for (std::size_t k = 0; k < readers.size(); ++k) {
+    if (readers[k].client == nullptr) {
+      throw std::invalid_argument("FleetController: null reader client");
+    }
+    TagwatchConfig cfg = config_.controller;
+    cfg.source_id = k;
+    cfg.session = reader_session(k);
+    cfg.rearm_session = config_.policy == SessionPolicy::kIndependent;
+    ReaderSlot slot;
+    slot.spec = std::move(readers[k]);
+    slot.controller =
+        std::make_unique<TagwatchController>(cfg, *slot.spec.client);
+    slot.tap = std::make_shared<TapSink>();
+    slot.controller->pipeline().add_sink(slot.tap);
+    readers_.push_back(std::move(slot));
+  }
+  if (config_.controller.wall_clock != nullptr) {
+    pipeline_.set_wall_clock(*config_.controller.wall_clock);
+  }
+  journal_.setup.readers = readers_.size();
+  journal_.setup.policy = to_string(config_.policy);
+  journal_.setup.session = reader_session(0);
+  journal_.setup.dedup_window = config_.dedup_window;
+}
+
+gen2::Session FleetController::reader_session(std::size_t reader) const {
+  switch (config_.policy) {
+    case SessionPolicy::kIndependent: return config_.controller.session;
+    case SessionPolicy::kShared: return config_.shared_session;
+    case SessionPolicy::kPerReader:
+      return static_cast<gen2::Session>(reader % 4);
+  }
+  return config_.controller.session;
+}
+
+TagwatchController& FleetController::controller(std::size_t reader) {
+  return *readers_.at(reader).controller;
+}
+
+FleetCycleReport FleetController::run_cycle() {
+  FleetCycleReport fleet;
+  fleet.cycle_index = cycle_counter_++;
+
+  for (std::size_t k = 0; k < readers_.size(); ++k) {
+    ReaderSlot& slot = readers_[k];
+
+    FleetReaderCycle row;
+    row.reader = k;
+    row.zone = slot.spec.zone.name;
+    row.report = slot.controller->run_cycle();
+
+    // Drain the tap and dedup across readers: a sighting of an EPC whose
+    // last *delivered* reading came from a different reader within the
+    // dedup window is suppressed.  Same-reader repeats always pass (the
+    // rate-adaptive product is repeated reading), and suppressed readings
+    // do not refresh last-seen — a tag camped on a zone seam keeps one
+    // owner instead of flapping.
+    std::vector<rf::TagReading> phase1, phase2;
+    for (TapSink::Tapped& t : slot.tap->drain()) {
+      ++fleet.readings_total;
+      const auto seen = last_seen_.find(t.reading.epc);
+      const bool duplicate = seen != last_seen_.end() &&
+                             seen->second.reader != k &&
+                             t.reading.timestamp - seen->second.at <=
+                                 config_.dedup_window;
+      if (duplicate) {
+        ++row.duplicates;
+        continue;
+      }
+      last_seen_[t.reading.epc] = {k, t.reading.timestamp};
+      const std::size_t prev = ledger_.assign(t.reading.epc, k);
+      if (prev != ZoneLedger::kUnowned && prev != k) {
+        fleet.handoffs.push_back(
+            {t.reading.epc, prev, k, t.reading.timestamp});
+      }
+      ++row.delivered;
+      (t.phase == ReadPhase::kPhase2 ? phase2 : phase1)
+          .push_back(std::move(t.reading));
+    }
+
+    pipeline_.dispatch_batch(
+        phase1, ReadingContext{fleet.cycle_index, ReadPhase::kPhase1, k});
+    pipeline_.dispatch_batch(
+        phase2, ReadingContext{fleet.cycle_index, ReadPhase::kPhase2, k});
+
+    fleet.delivered_total += row.delivered;
+    fleet.duplicates_total += row.duplicates;
+
+    llrp::FleetCycleRecord record;
+    record.cycle = fleet.cycle_index;
+    record.reader = k;
+    record.zone = row.zone;
+    record.phase1_readings = row.report.phase1_readings;
+    record.phase2_readings = row.report.phase2_readings;
+    record.delivered = row.delivered;
+    record.duplicates = row.duplicates;
+    journal_.push_cycle(std::move(record));
+
+    fleet.readers.push_back(std::move(row));
+  }
+
+  // Handoffs are journaled after the cycle's F records, in detection
+  // order, so the journal stays grouped per cycle.
+  for (const llrp::FleetHandoffRecord& h : fleet.handoffs) {
+    journal_.push_handoff(h);
+  }
+
+  return fleet;
+}
+
+std::vector<FleetCycleReport> FleetController::run_cycles(std::size_t n) {
+  std::vector<FleetCycleReport> reports;
+  reports.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) reports.push_back(run_cycle());
+  return reports;
+}
+
+}  // namespace tagwatch::core

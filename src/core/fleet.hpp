@@ -1,0 +1,190 @@
+// FleetController: N rate-adaptive readers over one scene.
+//
+// Real deployments tile a warehouse with readers whose antenna fields
+// overlap at the zone seams.  Running one TagwatchController per reader is
+// not enough: the same tag answers two readers within milliseconds (double
+// delivery to the application), movers drift from one zone into the next
+// (somebody must notice the handoff), and — the part Gen2 was designed
+// for — the readers can coordinate *through the tags' session flags*
+// instead of re-reading each other's population.
+//
+// FleetController owns one TagwatchController per reader and runs their
+// cycles in a fixed time-division order on the shared clock.  Each
+// controller keeps its private pipeline (assessor training, history); a
+// tap sink copies its readings out, the fleet deduplicates them across
+// readers, detects zone handoffs, and dispatches what survives to the
+// fleet-level ReadingPipeline with per-reader source attribution.  Every
+// cycle is journaled (llrp::FleetJournal) so record→replay runs can be
+// compared by digest.
+//
+// Session policies (how readers share Gen2 flag state; arXiv 0904.2441
+// studies the reliability side of this):
+//   kIndependent — every reader re-arms its session before each round: the
+//     classic single-reader discipline, readers invisible to each other.
+//   kShared — all readers inventory one session with re-arming off: a tag
+//     ACKed by any reader stays B for everyone until the flag decays, so
+//     the fleet reads the population once per decay window.
+//   kPerReader — reader k inventories session k mod 4 with re-arming off:
+//     up to four *independent* sessions over the same tags, the k-session
+//     redundancy scheme whose missed-read probability falls as p^k.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tagwatch.hpp"
+#include "llrp/fleet_journal.hpp"
+#include "sim/world.hpp"
+
+namespace tagwatch::core {
+
+/// How the fleet assigns Gen2 sessions and targets to its readers.
+enum class SessionPolicy {
+  kIndependent,  ///< Per-round re-arm; readers don't share flag state.
+  kShared,       ///< One session, no re-arm: read-once-per-decay-window.
+  kPerReader,    ///< Session k%4 per reader, no re-arm: k-session redundancy.
+};
+
+const char* to_string(SessionPolicy policy);
+SessionPolicy session_policy_from_string(std::string_view name);
+
+/// One reader in the fleet: its transport and the zone it covers.  The
+/// zone is bookkeeping for attribution/handoff; RF-level coverage lives in
+/// the backend (gen2::ReaderConfig::coverage for the simulator).
+struct FleetReaderSpec {
+  llrp::ReaderClient* client = nullptr;  ///< Non-owning; must outlive fleet.
+  sim::Zone zone;
+};
+
+/// Fleet configuration.
+struct FleetConfig {
+  /// Template for every per-reader controller.  The fleet overrides
+  /// session/target/re-arm per its policy and stamps source_id = reader
+  /// index; everything else (assessor, scheduler, resilience) applies
+  /// to each reader as given.
+  TagwatchConfig controller;
+  SessionPolicy policy = SessionPolicy::kIndependent;
+  /// The session kShared inventories (and the base the journal records).
+  gen2::Session shared_session = gen2::Session::kS2;
+  /// Two sightings of one EPC by *different* readers within this window
+  /// count as one reading (the second is suppressed as a cross-reader
+  /// duplicate).  Same-reader repeats are never deduplicated — repeated
+  /// reading is the product, not an artifact.
+  util::SimDuration dedup_window = util::msec(500);
+};
+
+/// One reader's slice of a fleet cycle.
+struct FleetReaderCycle {
+  std::size_t reader = 0;
+  std::string zone;
+  CycleReport report;          ///< The underlying controller's report.
+  std::size_t delivered = 0;   ///< Readings dispatched after dedup.
+  std::size_t duplicates = 0;  ///< Readings suppressed as cross-reader dups.
+};
+
+/// What happened in one fleet cycle (all readers, in TDM order).
+struct FleetCycleReport {
+  std::size_t cycle_index = 0;
+  std::vector<FleetReaderCycle> readers;
+  std::size_t readings_total = 0;    ///< Before dedup.
+  std::size_t delivered_total = 0;   ///< After dedup.
+  std::size_t duplicates_total = 0;  ///< Suppressed cross-reader dups.
+  std::vector<llrp::FleetHandoffRecord> handoffs;
+
+  /// Fraction of this cycle's readings suppressed as cross-reader
+  /// duplicates — the headline overlap-coordination metric (0 when the
+  /// cycle produced no readings).
+  double cross_reader_dup_ratio() const {
+    return readings_total == 0
+               ? 0.0
+               : static_cast<double>(duplicates_total) /
+                     static_cast<double>(readings_total);
+  }
+};
+
+/// Tracks which reader last owned each tag, for handoff detection.  Backed
+/// by a dense per-tag-index vector synced against World::structure_epoch()
+/// (exactly like the gen2 flag mirror) when a world is available; falls
+/// back to an EPC-keyed map otherwise (replay has no world).  Both paths
+/// produce identical handoff events.
+class ZoneLedger {
+ public:
+  static constexpr std::size_t kUnowned = static_cast<std::size_t>(-1);
+
+  /// `world` may be nullptr (EPC-map fallback) and is non-owning.
+  explicit ZoneLedger(const sim::World* world) : world_(world) {}
+
+  /// Records that `reader` just read `epc`; returns the previous owner
+  /// (kUnowned on first sighting).
+  std::size_t assign(const util::Epc& epc, std::size_t reader);
+
+ private:
+  void sync();
+
+  const sim::World* world_ = nullptr;
+  // Dense path (world-backed).
+  std::vector<std::size_t> owner_;
+  std::vector<util::Epc> epcs_;
+  std::unordered_map<util::Epc, std::size_t> departed_;
+  std::uint64_t epoch_ = 0;
+  // Fallback path (no world).
+  std::unordered_map<util::Epc, std::size_t> by_epc_;
+};
+
+/// N coordinated rate-adaptive readers over one scene.
+class FleetController {
+ public:
+  /// `readers` must be non-empty with non-null clients.  `world` is
+  /// optional (non-owning): when given, handoff tracking uses the dense
+  /// structure_epoch-synced ledger; replay transports pass nullptr.
+  FleetController(FleetConfig config, std::vector<FleetReaderSpec> readers,
+                  const sim::World* world = nullptr);
+
+  /// Runs one cycle on every reader, in fixed TDM order, and reports.
+  FleetCycleReport run_cycle();
+  std::vector<FleetCycleReport> run_cycles(std::size_t n);
+
+  /// The fleet-level delivery pipeline (deduped readings, per-reader
+  /// source_id attribution).  Applications hang their sinks here.
+  ReadingPipeline& pipeline() noexcept { return pipeline_; }
+
+  /// The per-reader controller (diagnostics/tests).
+  TagwatchController& controller(std::size_t reader);
+  std::size_t reader_count() const noexcept { return readers_.size(); }
+
+  /// The fleet activity journal, appended every cycle.
+  const llrp::FleetJournal& journal() const noexcept { return journal_; }
+
+  const FleetConfig& config() const noexcept { return config_; }
+
+  /// The Gen2 session the fleet's policy assigns to `reader`.
+  gen2::Session reader_session(std::size_t reader) const;
+
+ private:
+  class TapSink;
+
+  struct ReaderSlot {
+    FleetReaderSpec spec;
+    std::unique_ptr<TagwatchController> controller;
+    std::shared_ptr<TapSink> tap;
+  };
+
+  struct LastSeen {
+    std::size_t reader = 0;
+    util::SimTime at{0};
+  };
+
+  FleetConfig config_;
+  std::vector<ReaderSlot> readers_;
+  ReadingPipeline pipeline_;
+  llrp::FleetJournal journal_;
+  ZoneLedger ledger_;
+  std::unordered_map<util::Epc, LastSeen> last_seen_;
+  std::size_t cycle_counter_ = 0;
+};
+
+}  // namespace tagwatch::core

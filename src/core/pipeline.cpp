@@ -15,9 +15,21 @@ void ReadingPipeline::add_sink(std::shared_ptr<ReadingSink> sink) {
                                 std::string(sink->name()) + "'");
   }
   Entry entry;
-  entry.stats.name = std::string(sink->name());
+  entry.stats.emplace_back();
+  entry.stats.back().name = std::string(sink->name());
   entry.sink = std::move(sink);
   entries_.push_back(std::move(entry));
+}
+
+SinkStats& ReadingPipeline::stats_slot(Entry& entry, std::size_t source_id) {
+  for (SinkStats& s : entry.stats) {
+    if (s.source_id == source_id) return s;
+  }
+  SinkStats row;
+  row.name = entry.stats.front().name;
+  row.source_id = source_id;
+  entry.stats.push_back(std::move(row));
+  return entry.stats.back();
 }
 
 void ReadingPipeline::set_sink(std::shared_ptr<ReadingSink> sink) {
@@ -53,6 +65,7 @@ void ReadingPipeline::dispatch(const rf::TagReading& reading,
                                const ReadingContext& context) {
   ++dispatched_;
   for (Entry& entry : entries_) {
+    SinkStats& stats = stats_slot(entry, context.source_id);
     const double t0 = clock_->now_seconds();
     bool accepted = false;
     try {
@@ -60,14 +73,14 @@ void ReadingPipeline::dispatch(const rf::TagReading& reading,
     } catch (const std::exception&) {
       // A misbehaving sink loses its own reading, never anyone else's:
       // delivery continues to the remaining sinks and the cycle survives.
-      ++entry.stats.exceptions;
+      ++stats.exceptions;
     }
-    entry.stats.dispatch_seconds += clock_->now_seconds() - t0;
-    ++entry.stats.batches;
+    stats.dispatch_seconds += clock_->now_seconds() - t0;
+    ++stats.batches;
     if (accepted) {
-      ++entry.stats.delivered;
+      ++stats.delivered;
     } else {
-      ++entry.stats.dropped;
+      ++stats.dropped;
     }
   }
 }
@@ -78,6 +91,7 @@ void ReadingPipeline::dispatch_batch(
   if (readings.empty()) return;
   dispatched_ += readings.size();
   for (Entry& entry : entries_) {
+    SinkStats& stats = stats_slot(entry, context.source_id);
     const double t0 = clock_->now_seconds();
     for (const rf::TagReading& reading : readings) {
       bool accepted = false;
@@ -86,16 +100,16 @@ void ReadingPipeline::dispatch_batch(
       } catch (const std::exception&) {
         // Same isolation as dispatch(): a throwing sink loses its own
         // reading, never anyone else's.
-        ++entry.stats.exceptions;
+        ++stats.exceptions;
       }
       if (accepted) {
-        ++entry.stats.delivered;
+        ++stats.delivered;
       } else {
-        ++entry.stats.dropped;
+        ++stats.dropped;
       }
     }
-    entry.stats.dispatch_seconds += clock_->now_seconds() - t0;
-    ++entry.stats.batches;
+    stats.dispatch_seconds += clock_->now_seconds() - t0;
+    ++stats.batches;
   }
 }
 
@@ -104,7 +118,8 @@ void ReadingPipeline::end_cycle(const CycleReport& report) {
     try {
       entry.sink->on_cycle_end(report);
     } catch (const std::exception&) {
-      ++entry.stats.exceptions;  // Same isolation as dispatch().
+      // Cycle-end isn't attributable to any one source: account to row 0.
+      ++entry.stats.front().exceptions;
     }
   }
 }
@@ -112,7 +127,9 @@ void ReadingPipeline::end_cycle(const CycleReport& report) {
 std::vector<SinkStats> ReadingPipeline::stats() const {
   std::vector<SinkStats> out;
   out.reserve(entries_.size());
-  for (const Entry& entry : entries_) out.push_back(entry.stats);
+  for (const Entry& entry : entries_) {
+    out.insert(out.end(), entry.stats.begin(), entry.stats.end());
+  }
   return out;
 }
 

@@ -35,6 +35,11 @@ enum class ReadPhase {
 struct ReadingContext {
   std::size_t cycle_index = 0;
   ReadPhase phase = ReadPhase::kPhase1;
+  /// Which reader produced the reading (index into the fleet's reader
+  /// list; 0 for single-reader deployments).  Sinks and the pipeline's
+  /// accounting attribute per source, so one slow zone shows up as that
+  /// zone, not as an aggregate.
+  std::size_t source_id = 0;
 };
 
 /// One consumer of the reading stream.
@@ -55,9 +60,14 @@ class ReadingSink {
   virtual void on_cycle_end(const CycleReport& report) { (void)report; }
 };
 
-/// Per-sink delivery accounting.
+/// Per-(sink, source) delivery accounting.  Single-reader pipelines only
+/// ever populate source 0, so their stats() snapshot looks exactly as it
+/// did before sources existed; fleet pipelines get one row per sink per
+/// reader that actually dispatched through it.
 struct SinkStats {
   std::string name;
+  /// The ReadingContext::source_id this row accounts for.
+  std::size_t source_id = 0;
   std::uint64_t delivered = 0;  ///< Readings the sink accepted.
   std::uint64_t dropped = 0;    ///< Readings the sink declined or threw on.
   /// Calls on which the sink threw — on_reading throws (each also counted
@@ -118,14 +128,21 @@ class ReadingPipeline {
   /// Readings pushed through the pipeline so far (all phases).
   std::uint64_t dispatched_total() const noexcept { return dispatched_; }
 
-  /// Per-sink accounting snapshot, in delivery order.
+  /// Accounting snapshot: one row per (sink, source) pair, sinks in
+  /// delivery order, sources in first-seen order within each sink.
+  /// Single-source pipelines get exactly one row per sink (source 0).
   std::vector<SinkStats> stats() const;
 
  private:
   struct Entry {
     std::shared_ptr<ReadingSink> sink;
-    SinkStats stats;
+    /// Per-source accounting rows; [0] always exists (cycle-end exception
+    /// accounting and single-reader dispatch land there).
+    std::vector<SinkStats> stats;
   };
+  /// The entry's accounting row for `source_id`, created on first use.
+  static SinkStats& stats_slot(Entry& entry, std::size_t source_id);
+
   std::vector<Entry> entries_;
   std::uint64_t dispatched_ = 0;
   util::WallClock* clock_ = &util::WallClock::system();

@@ -52,7 +52,8 @@ void TagwatchController::deliver_batch(
   } else {
     report.phase1_readings += readings.size();
   }
-  pipeline_.dispatch_batch(readings, ReadingContext{report.cycle_index, phase});
+  pipeline_.dispatch_batch(
+      readings, ReadingContext{report.cycle_index, phase, config_.source_id});
 }
 
 std::shared_ptr<PipelineMetrics> attach_metrics(
@@ -69,6 +70,8 @@ llrp::ROSpec TagwatchController::make_read_all_rospec(
   llrp::AISpec ai;
   if (!quarantined_.empty()) ai.antenna_indexes = healthy_antennas();
   ai.session = config_.session;
+  ai.target = config_.query_target;
+  ai.rearm_session = config_.rearm_session;
   ai.initial_q = config_.phase1_initial_q;
   ai.stop = llrp::AiSpecStopTrigger::after_duration(duration);
   spec.ai_specs.push_back(std::move(ai));
@@ -280,6 +283,8 @@ CycleReport TagwatchController::run_cycle() {
     llrp::AISpec ai;
     if (!quarantined_.empty()) ai.antenna_indexes = healthy_antennas();
     ai.session = config_.session;
+    ai.target = config_.query_target;
+    ai.rearm_session = config_.rearm_session;
     ai.initial_q = config_.phase1_initial_q;
     ai.stop = llrp::AiSpecStopTrigger::after_rounds(
         n_antennas * config_.phase1_rounds_per_antenna);

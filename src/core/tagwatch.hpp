@@ -78,6 +78,17 @@ struct TagwatchConfig {
   /// User-pinned "concerned" tags: always scheduled in Phase II (§5).
   std::vector<util::Epc> pinned_targets;
   gen2::Session session = gen2::Session::kS1;
+  /// Inventoried-flag value unfiltered rounds target when rearm_session
+  /// is false (re-armed rounds always query A).
+  gen2::InvFlag query_target = gen2::InvFlag::kA;
+  /// Open every unfiltered round with a match-all Select re-arming the
+  /// session flag (the classic single-reader discipline).  Fleet
+  /// controllers coordinating readers through shared session state set
+  /// this false so one reader's ACKs stay visible to the others.
+  bool rearm_session = true;
+  /// Reader identity stamped into every ReadingContext this controller
+  /// dispatches (index into the fleet's reader list; 0 standalone).
+  std::size_t source_id = 0;
   /// Initial Q for Phase I rounds (Phase II rounds derive Q from the
   /// scheduled bitmask's expected coverage).
   std::uint8_t phase1_initial_q = 4;

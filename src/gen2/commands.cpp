@@ -1,0 +1,24 @@
+#include "gen2/commands.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tagwatch::gen2 {
+
+Session session_from_string(std::string_view name) {
+  if (name == "S0" || name == "0") return Session::kS0;
+  if (name == "S1" || name == "1") return Session::kS1;
+  if (name == "S2" || name == "2") return Session::kS2;
+  if (name == "S3" || name == "3") return Session::kS3;
+  throw std::invalid_argument("unknown Gen2 session '" + std::string(name) +
+                              "' (expected S0..S3)");
+}
+
+InvFlag inv_flag_from_string(std::string_view name) {
+  if (name == "A") return InvFlag::kA;
+  if (name == "B") return InvFlag::kB;
+  throw std::invalid_argument("unknown inventoried flag '" +
+                              std::string(name) + "' (expected A or B)");
+}
+
+}  // namespace tagwatch::gen2

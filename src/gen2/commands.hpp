@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "util/bitstring.hpp"
 
@@ -18,8 +19,30 @@ enum class MemBank : std::uint8_t {
 /// Inventory sessions S0–S3 (Gen2 §6.3.2.2).
 enum class Session : std::uint8_t { kS0 = 0, kS1 = 1, kS2 = 2, kS3 = 3 };
 
+/// Canonical short name ("S0".."S3") — used by config keys and journals.
+constexpr const char* to_string(Session s) {
+  switch (s) {
+    case Session::kS0: return "S0";
+    case Session::kS1: return "S1";
+    case Session::kS2: return "S2";
+    case Session::kS3: return "S3";
+  }
+  return "S?";
+}
+
+/// Parses "S0".."S3" (or bare "0".."3").  Throws std::invalid_argument.
+Session session_from_string(std::string_view name);
+
 /// Inventoried-flag values within a session.
 enum class InvFlag : std::uint8_t { kA = 0, kB = 1 };
+
+/// Canonical flag name ("A"/"B") for config keys and journals.
+constexpr const char* to_string(InvFlag f) {
+  return f == InvFlag::kA ? "A" : "B";
+}
+
+/// Parses "A"/"B".  Throws std::invalid_argument.
+InvFlag inv_flag_from_string(std::string_view name);
 
 /// What a Select command targets (Gen2 Table 6.29): one of the four
 /// session inventoried flags, or the SL flag.

@@ -1,0 +1,58 @@
+#include "gen2/flag_field.hpp"
+
+namespace tagwatch::gen2 {
+
+void TagFlagField::sync(const sim::World& world) {
+  const std::vector<sim::SimTag>& tags = world.tags();
+  if (world.structure_epoch() != epoch_) {
+    // remove_tag() shifted indexes.  The departures log says *when* each
+    // truly removed tag lost power; entries merely reindexed (their EPC is
+    // still in the world) stash with no de-energize time and restore
+    // untouched below.
+    std::unordered_map<util::Epc, util::SimTime> departed_at;
+    const std::vector<sim::TagDeparture>& log = world.departures();
+    for (; departure_cursor_ < log.size(); ++departure_cursor_) {
+      const sim::TagDeparture& d = log[departure_cursor_];
+      departed_at.insert_or_assign(d.epc, d.at);
+    }
+    for (std::size_t i = 0; i < flags_.size(); ++i) {
+      DepartedEntry entry{flags_[i], std::nullopt};
+      if (const auto it = departed_at.find(epcs_[i]);
+          it != departed_at.end()) {
+        entry.departed_at = it->second;
+      }
+      departed_.insert_or_assign(epcs_[i], std::move(entry));
+    }
+    flags_.clear();
+    epcs_.clear();
+    epoch_ = world.structure_epoch();
+  }
+  // Pure growth: new indexes append behind the existing ones.
+  for (std::size_t i = flags_.size(); i < tags.size(); ++i) {
+    const util::Epc& epc = tags[i].epc;
+    const auto it = departed_.find(epc);
+    if (it != departed_.end()) {
+      TagFlags flags = it->second.flags;
+      if (it->second.departed_at) {
+        // The tag spent [departed_at, now) de-energized: apply the Gen2
+        // persistence table to the gap before it rejoins the field.
+        flags.power_cycle(*it->second.departed_at, world.now(), timing_);
+      }
+      flags_.push_back(flags);
+      departed_.erase(it);
+    } else {
+      flags_.emplace_back();  // Power-up state: ~SL, all sessions A.
+    }
+    epcs_.push_back(epc);
+  }
+}
+
+const TagFlags* TagFlagField::find(const sim::World& world,
+                                   const util::Epc& epc) {
+  sync(world);
+  if (const auto idx = world.find_tag(epc)) return &flags_[*idx];
+  const auto it = departed_.find(epc);
+  return it == departed_.end() ? nullptr : &it->second.flags;
+}
+
+}  // namespace tagwatch::gen2

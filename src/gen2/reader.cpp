@@ -22,63 +22,46 @@ std::uint8_t clamp_q(double qfp) {
 
 Gen2Reader::Gen2Reader(LinkTiming timing, ReaderConfig config,
                        sim::World& world, const rf::RfChannel& channel,
-                       std::vector<rf::Antenna> antennas, util::Rng rng)
+                       std::vector<rf::Antenna> antennas, util::Rng rng,
+                       std::shared_ptr<TagFlagField> flags)
     : timing_(std::move(timing)), config_(config), world_(&world),
-      channel_(&channel), antennas_(std::move(antennas)), rng_(rng) {
+      channel_(&channel), antennas_(std::move(antennas)), rng_(rng),
+      flags_(std::move(flags)) {
   if (antennas_.empty()) {
     throw std::invalid_argument("Gen2Reader: need at least one antenna");
   }
   if (config_.q_step <= 0.0) {
     throw std::invalid_argument("Gen2Reader: q_step must be positive");
   }
+  if (!flags_) {
+    flags_ = std::make_shared<TagFlagField>(config_.session_timing);
+  }
   next_hop_ = world_->now() + config_.channel_dwell;
+}
+
+bool Gen2Reader::in_field(const sim::SimTag& tag, util::SimTime t) const {
+  if (!sim::World::is_present(tag, t)) return false;
+  if (!config_.coverage) return true;
+  return config_.coverage->contains(tag.motion->position(t));
 }
 
 void Gen2Reader::transmit_select(const SelectCommand& cmd) {
   hop_if_due();
   world_->advance(timing_.select(cmd.mask.size()));
-  sync_flags();
+  flags_->sync(*world_);
   const util::SimTime t = world_->now();
+  const SessionTiming& st = flags_->timing();
   const std::vector<sim::SimTag>& tags = world_->tags();
   for (std::size_t i = 0; i < tags.size(); ++i) {
     const sim::SimTag& tag = tags[i];
-    if (!sim::World::is_present(tag, t)) continue;
-    apply_select_action(cmd, select_matches(cmd, tag.epc), tag_flags_[i]);
-  }
-}
-
-void Gen2Reader::sync_flags() {
-  const std::vector<sim::SimTag>& tags = world_->tags();
-  if (world_->structure_epoch() != flags_epoch_) {
-    // remove_tag() shifted indexes: stash every entry by EPC (departed
-    // tags keep their flags and resume them on re-entry, as real tags
-    // holding persistent session state would), then rebuild densely.
-    for (std::size_t i = 0; i < tag_flags_.size(); ++i) {
-      departed_.insert_or_assign(flag_epcs_[i], tag_flags_[i]);
-    }
-    tag_flags_.clear();
-    flag_epcs_.clear();
-    flags_epoch_ = world_->structure_epoch();
-  }
-  // Pure growth: new indexes append behind the existing ones.
-  for (std::size_t i = tag_flags_.size(); i < tags.size(); ++i) {
-    const util::Epc& epc = tags[i].epc;
-    const auto it = departed_.find(epc);
-    if (it != departed_.end()) {
-      tag_flags_.push_back(it->second);
-      departed_.erase(it);
-    } else {
-      tag_flags_.emplace_back();  // Power-up state: ~SL, all sessions A.
-    }
-    flag_epcs_.push_back(epc);
+    if (!in_field(tag, t)) continue;
+    apply_select_action(cmd, select_matches(cmd, tag.epc), flags_->at(i), t,
+                        st);
   }
 }
 
 const TagFlags* Gen2Reader::find_flags(const util::Epc& epc) {
-  sync_flags();
-  if (const auto idx = world_->find_tag(epc)) return &tag_flags_[*idx];
-  const auto it = departed_.find(epc);
-  return it == departed_.end() ? nullptr : &it->second;
+  return flags_->find(*world_, epc);
 }
 
 void Gen2Reader::set_active_antenna(std::size_t index) {
@@ -90,17 +73,17 @@ void Gen2Reader::set_active_antenna(std::size_t index) {
 
 std::vector<Gen2Reader::Participant> Gen2Reader::gather_participants(
     const QueryCommand& query) {
-  sync_flags();
+  flags_->sync(*world_);
   std::vector<Participant> parts;
   const util::SimTime t = world_->now();
   const std::vector<sim::SimTag>& tags = world_->tags();
   for (std::size_t i = 0; i < tags.size(); ++i) {
     const sim::SimTag& tag = tags[i];
-    if (!sim::World::is_present(tag, t)) continue;
-    const TagFlags& f = tag_flags_[i];
+    if (!in_field(tag, t)) continue;
+    const TagFlags& f = flags_->at(i);
     if (query.sel == QuerySel::kSl && !f.sl) continue;
     if (query.sel == QuerySel::kNotSl && f.sl) continue;
-    if (f.session_flag(query.session) != query.target) continue;
+    if (f.session_flag_at(query.session, t) != query.target) continue;
     // Temporarily blocked/occluded tags miss the whole round (§4.3).
     if (tag.block_probability > 0.0 && rng_.chance(tag.block_probability)) {
       continue;
@@ -184,12 +167,12 @@ void Gen2Reader::run_binary_tree(const QueryCommand& query,
         stack.push_back(std::move(group));
         continue;
       }
-      TagFlags& flags = tag_flags_[tag_index];
+      TagFlags& flags = flags_->at(tag_index);
       const util::Epc& epc = world_->tags()[tag_index].epc;
       world_->advance(timing_.success_slot(reply_bits(epc, flags)));
       ++stats.success_slots;
-      InvFlag& f = flags.session_flag(query.session);
-      f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA;
+      flags.toggle_session_flag(query.session, world_->now(),
+                                flags_->timing());
       if (on_read) on_read(make_reading(tag_index));
       continue;
     }
@@ -322,13 +305,13 @@ RoundStats Gen2Reader::run_inventory_round(const QueryCommand& query,
         parts[pi].parked = true;
       } else {
         const std::size_t tag_index = parts[pi].tag_index;
-        TagFlags& flags = tag_flags_[tag_index];
+        TagFlags& flags = flags_->at(tag_index);
         const util::Epc& epc = world_->tags()[tag_index].epc;
         world_->advance(timing_.success_slot(reply_bits(epc, flags)));
         ++stats.success_slots;
         // Acknowledged tag inverts its inventoried flag for this session.
-        InvFlag& f = flags.session_flag(query.session);
-        f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA;
+        flags.toggle_session_flag(query.session, world_->now(),
+                                  flags_->timing());
         if (on_read) on_read(make_reading(tag_index));
         parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(pi));
       }
@@ -352,12 +335,12 @@ RoundStats Gen2Reader::run_inventory_round(const QueryCommand& query,
           }
         }
         const std::size_t tag_index = parts[strongest].tag_index;
-        TagFlags& flags = tag_flags_[tag_index];
+        TagFlags& flags = flags_->at(tag_index);
         const util::Epc& epc = tags[tag_index].epc;
         world_->advance(timing_.success_slot(reply_bits(epc, flags)));
         ++stats.success_slots;
-        InvFlag& f = flags.session_flag(query.session);
-        f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA;
+        flags.toggle_session_flag(query.session, world_->now(),
+                                  flags_->timing());
         if (on_read) on_read(make_reading(tag_index));
         // The captured tag leaves; the losers park as in a plain collision.
         for (const std::size_t pi : responders) {

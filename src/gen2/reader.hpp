@@ -10,10 +10,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "gen2/commands.hpp"
+#include "gen2/flag_field.hpp"
 #include "gen2/link_params.hpp"
 #include "gen2/tag_runtime.hpp"
 #include "rf/channel.hpp"
@@ -56,6 +58,15 @@ struct ReaderConfig {
   /// round's frame starts from the previous round's converged estimate
   /// instead of the Query's initial Q.
   bool persist_q = false;
+  /// Session-flag persistence windows applied by the reader's (private)
+  /// flag field.  Ignored when the reader is constructed over a shared
+  /// TagFlagField, which carries its own timing.
+  SessionTiming session_timing = SessionTiming::persistent();
+  /// Coverage zone: when set, the reader's RF field reaches only tags
+  /// whose position lies inside it — Selects and inventory rounds skip
+  /// everything else.  nullopt (default) covers the whole world, the
+  /// single-reader behavior.
+  std::optional<sim::Zone> coverage;
 };
 
 /// Per-round outcome counters.
@@ -86,10 +97,14 @@ using ReadCallback = std::function<void(const rf::TagReading&)>;
 class Gen2Reader {
  public:
   /// The reader transmits through `antennas` (at least one).  `world` and
-  /// `channel` must outlive the reader.
+  /// `channel` must outlive the reader.  `flags` is the session-flag field
+  /// the reader energizes: pass one shared field to several readers so
+  /// they see each other's A/B flips (fleet deployments); nullptr gives
+  /// the reader a private field built from config.session_timing (the
+  /// classic single-reader setup).
   Gen2Reader(LinkTiming timing, ReaderConfig config, sim::World& world,
              const rf::RfChannel& channel, std::vector<rf::Antenna> antennas,
-             util::Rng rng);
+             util::Rng rng, std::shared_ptr<TagFlagField> flags = nullptr);
 
   /// Broadcasts a Select command: advances the clock by the command's air
   /// time and updates the flags of every tag currently in the field.
@@ -122,6 +137,12 @@ class Gen2Reader {
   /// the dense mirror against the world first.
   const TagFlags* find_flags(const util::Epc& epc);
 
+  /// The session-flag field this reader energizes (shared or private).
+  TagFlagField& flag_field() noexcept { return *flags_; }
+  std::shared_ptr<TagFlagField> flag_field_ptr() const noexcept {
+    return flags_;
+  }
+
  private:
   struct Participant {
     std::size_t tag_index;                 ///< Index into world tags.
@@ -129,13 +150,9 @@ class Gen2Reader {
     bool parked = false;                   ///< Collided; waits for re-draw.
   };
 
-  /// Brings the dense per-tag-index flag mirror up to date with the world:
-  /// grows it for newly added tags and remaps it after remove_tag()
-  /// reindexing (detected via World::structure_epoch()).  Flags of departed
-  /// tags are stashed by EPC and resume if the tag is re-added — the exact
-  /// semantics the old EPC-keyed FlagStore provided, without its per-slot
-  /// hash lookups.
-  void sync_flags();
+  /// True when the tag is present *and* inside this reader's coverage
+  /// zone at time `t` — i.e. the reader's carrier actually energizes it.
+  bool in_field(const sim::SimTag& tag, util::SimTime t) const;
   /// Tags in the field whose flags satisfy the query's Sel/session/target.
   std::vector<Participant> gather_participants(const QueryCommand& query);
   /// Tree-splitting arbitration (kBinaryTree policy).
@@ -154,14 +171,10 @@ class Gen2Reader {
   const rf::RfChannel* channel_;
   std::vector<rf::Antenna> antennas_;
   util::Rng rng_;
-  /// Dense protocol-flag mirror, indexed like world tags (hot path: no
-  /// hashing per slot).  flag_epcs_ records which EPC each entry belongs
-  /// to so a world reindex can be remapped; departed_ keeps the flags of
-  /// removed tags alive for possible re-entry.
-  std::vector<TagFlags> tag_flags_;
-  std::vector<util::Epc> flag_epcs_;
-  std::unordered_map<util::Epc, TagFlags> departed_;
-  std::uint64_t flags_epoch_ = 0;
+  /// The session-flag field (dense per-tag-index mirror; see
+  /// gen2/flag_field.hpp).  Shared across readers in fleet deployments,
+  /// private otherwise — never null.
+  std::shared_ptr<TagFlagField> flags_;
   std::size_t antenna_idx_ = 0;
   std::size_t channel_idx_ = 0;
   std::size_t hop_counter_ = 0;

@@ -13,7 +13,8 @@ namespace {
 /// session inventoried flag, per the Select target.
 enum class FlagOp { kAssert, kDeassert, kToggle, kNone };
 
-void apply_op(FlagOp op, const SelectCommand& cmd, TagFlags& flags) {
+void apply_op(FlagOp op, const SelectCommand& cmd, TagFlags& flags,
+              util::SimTime now, const SessionTiming& timing) {
   if (op == FlagOp::kNone) return;
   if (cmd.target == SelectTarget::kSl) {
     switch (op) {
@@ -25,14 +26,17 @@ void apply_op(FlagOp op, const SelectCommand& cmd, TagFlags& flags) {
     return;
   }
   const auto session = static_cast<Session>(cmd.target);
-  InvFlag& f = flags.session_flag(session);
   switch (op) {
     // For session targets the spec reads "assert" as set-to-A and
     // "deassert" as set-to-B.
-    case FlagOp::kAssert: f = InvFlag::kA; break;
-    case FlagOp::kDeassert: f = InvFlag::kB; break;
+    case FlagOp::kAssert:
+      flags.set_session_flag(session, InvFlag::kA, now, timing);
+      break;
+    case FlagOp::kDeassert:
+      flags.set_session_flag(session, InvFlag::kB, now, timing);
+      break;
     case FlagOp::kToggle:
-      f = (f == InvFlag::kA) ? InvFlag::kB : InvFlag::kA;
+      flags.toggle_session_flag(session, now, timing);
       break;
     case FlagOp::kNone: break;
   }
@@ -42,6 +46,15 @@ void apply_op(FlagOp op, const SelectCommand& cmd, TagFlags& flags) {
 
 void apply_select_action(const SelectCommand& cmd, bool matched,
                          TagFlags& flags) {
+  // Legacy immortal-flag form: with persistent() timing, set_session_flag
+  // never stamps a decay deadline, so this is exactly the old semantics.
+  apply_select_action(cmd, matched, flags, util::SimTime{0},
+                      SessionTiming::persistent());
+}
+
+void apply_select_action(const SelectCommand& cmd, bool matched,
+                         TagFlags& flags, util::SimTime now,
+                         const SessionTiming& timing) {
   // Truncation state: a matching Select with Truncate set arms a shortened
   // reply starting right after the compared bits; any other Select disarms
   // it (per spec, truncation applies only when the *last* Select matched
@@ -79,7 +92,7 @@ void apply_select_action(const SelectCommand& cmd, bool matched,
       op = matched ? FlagOp::kToggle : FlagOp::kNone;
       break;
   }
-  apply_op(op, cmd, flags);
+  apply_op(op, cmd, flags, now, timing);
 }
 
 }  // namespace tagwatch::gen2

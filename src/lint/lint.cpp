@@ -521,8 +521,12 @@ void check_journal_discipline(const std::vector<SourceFile>& files,
       }
     }
   }
-  if (const SourceFile* journal = find_file(files, "llrp/reader_journal.cpp");
-      journal != nullptr) {
+  // Every CSV journal implementation must keep its serializer and parser
+  // record-tag tables symmetric — one-sided tags silently truncate replay.
+  for (const char* journal_file :
+       {"llrp/reader_journal.cpp", "llrp/fleet_journal.cpp"}) {
+    const SourceFile* journal = find_file(files, journal_file);
+    if (journal == nullptr) continue;
     const std::string src = scrub_comments(journal->content);
     const std::set<std::string> written = serializer_tags(src);
     const std::set<std::string> parsed = parser_tags(src);

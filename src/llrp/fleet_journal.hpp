@@ -1,0 +1,113 @@
+// FleetJournal: a persistent trace of a FleetController run.
+//
+// The per-reader ReaderJournals (llrp/reader_journal.hpp) already capture
+// every reader operation bit-exactly; what they cannot express is the
+// fleet-level story — which reader owned which zone, how readings were
+// attributed and deduplicated across readers, and when a tag was handed
+// off between zones.  FleetJournal records exactly that, in the same
+// line-oriented CSV discipline (integral microseconds, round-trip floats
+// never needed, one-letter record tags), so a fleet record→replay run can
+// be compared by a single digest.
+//
+// Record tags:
+//   S — setup: reader count, session policy, shared session, dedup window.
+//   F — one reader's cycle: counts before and after cross-reader dedup.
+//   H — one tag handoff: EPC, source and destination reader, sim time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen2/commands.hpp"
+#include "util/epc.hpp"
+#include "util/sim_time.hpp"
+
+namespace tagwatch::llrp {
+
+/// Fleet-level configuration the journal preserves (enough for a replay
+/// harness to rebuild an equivalent controller).
+struct FleetSetup {
+  std::size_t readers = 0;
+  std::string policy;  ///< Session-policy name (core::to_string form).
+  gen2::Session session = gen2::Session::kS1;
+  util::SimDuration dedup_window{0};
+};
+
+/// One reader's slice of one fleet cycle.
+struct FleetCycleRecord {
+  std::size_t cycle = 0;
+  std::size_t reader = 0;
+  std::string zone;
+  std::size_t phase1_readings = 0;
+  std::size_t phase2_readings = 0;
+  /// Readings dispatched to the fleet pipeline after cross-reader dedup.
+  std::size_t delivered = 0;
+  /// Readings suppressed as cross-reader duplicates.
+  std::size_t duplicates = 0;
+};
+
+/// A tag observed leaving one reader's zone for another's.
+struct FleetHandoffRecord {
+  util::Epc epc;
+  std::size_t from_reader = 0;
+  std::size_t to_reader = 0;
+  util::SimTime at{0};
+};
+
+/// One journaled fleet event, in emission order.
+struct FleetJournalEntry {
+  enum class Kind { kCycle, kHandoff };
+  Kind kind = Kind::kCycle;
+  FleetCycleRecord cycle;      ///< kCycle
+  FleetHandoffRecord handoff;  ///< kHandoff
+};
+
+class FleetJournal;
+
+/// Stable 64-bit digest of a fleet journal (FNV-1a over its canonical CSV
+/// form) — the quantity a fleet record→replay round trip must preserve.
+std::uint64_t fleet_journal_digest(const FleetJournal& journal);
+
+/// In-memory fleet journal with CSV persistence (lossless round trip).
+class FleetJournal {
+ public:
+  FleetSetup setup;
+
+  void push_cycle(FleetCycleRecord record) {
+    FleetJournalEntry e;
+    e.kind = FleetJournalEntry::Kind::kCycle;
+    e.cycle = std::move(record);
+    entries_.push_back(std::move(e));
+  }
+
+  void push_handoff(FleetHandoffRecord record) {
+    FleetJournalEntry e;
+    e.kind = FleetJournalEntry::Kind::kHandoff;
+    e.handoff = std::move(record);
+    entries_.push_back(std::move(e));
+  }
+
+  const std::vector<FleetJournalEntry>& entries() const noexcept {
+    return entries_;
+  }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Renders the journal as CSV (stable formatting, round-trips exactly
+  /// with from_csv).
+  std::string to_csv() const;
+
+  /// Parses CSV produced by to_csv.  Throws std::invalid_argument with a
+  /// line-context message on malformed input.
+  static FleetJournal from_csv(std::string_view csv);
+
+  /// File convenience wrappers.  Throw std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+  static FleetJournal load(const std::string& path);
+
+ private:
+  std::vector<FleetJournalEntry> entries_;
+};
+
+}  // namespace tagwatch::llrp

@@ -59,6 +59,16 @@ struct AISpec {
   /// every tag participates.
   std::vector<C1G2Filter> filters;
   gen2::Session session = gen2::Session::kS1;
+  /// Inventoried-flag value the Query targets.  Only meaningful with
+  /// rearm_session=false; re-armed rounds always query A (the Select just
+  /// reset the participants there).
+  gen2::InvFlag target = gen2::InvFlag::kA;
+  /// Precede every round with Selects that reset the participating
+  /// population's session flag (the classic single-reader repeated-reading
+  /// discipline).  Fleet deployments coordinating through shared session
+  /// state set this false: rounds then consume the A population and rely
+  /// on flag persistence/decay — or another reader — to replenish it.
+  bool rearm_session = true;
   std::uint8_t initial_q = 4;
   AiSpecStopTrigger stop = AiSpecStopTrigger::after_rounds(1);
 };

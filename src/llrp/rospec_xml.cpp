@@ -22,7 +22,15 @@ void write_filter(std::ostringstream& out, const C1G2Filter& f) {
 
 void write_aispec(std::ostringstream& out, const AISpec& spec) {
   out << "  <AISpec session=\"" << static_cast<int>(spec.session)
-      << "\" initialQ=\"" << static_cast<int>(spec.initial_q) << "\">\n";
+      << "\" initialQ=\"" << static_cast<int>(spec.initial_q) << "\"";
+  // Fleet extensions: emitted only when non-default so the canonical XML
+  // (and therefore every stored rospec/journal digest) of classic specs is
+  // byte-identical to what pre-fleet builds produced.
+  if (spec.target != gen2::InvFlag::kA) {
+    out << " target=\"" << gen2::to_string(spec.target) << "\"";
+  }
+  if (!spec.rearm_session) out << " rearm=\"0\"";
+  out << ">\n";
   out << "    <Antennas>";
   for (std::size_t i = 0; i < spec.antenna_indexes.size(); ++i) {
     if (i) out << ',';
@@ -180,6 +188,8 @@ AISpec parse_aispec(const XmlNode& node) {
       static_cast<gen2::Session>(std::stoi(attr_or(node, "session", "1")));
   spec.initial_q =
       static_cast<std::uint8_t>(std::stoi(attr_or(node, "initialQ", "4")));
+  spec.target = gen2::inv_flag_from_string(attr_or(node, "target", "A"));
+  spec.rearm_session = attr_or(node, "rearm", "1") != "0";
   if (const XmlNode* ants = find_child(node, "Antennas");
       ants && !ants->text.empty()) {
     std::stringstream ss(ants->text);

@@ -6,9 +6,10 @@ SimReaderClient::SimReaderClient(gen2::LinkTiming timing,
                                  gen2::ReaderConfig config, sim::World& world,
                                  const rf::RfChannel& channel,
                                  std::vector<rf::Antenna> antennas,
-                                 std::uint64_t seed)
+                                 std::uint64_t seed,
+                                 std::shared_ptr<gen2::TagFlagField> flags)
     : reader_(std::move(timing), config, world, channel, std::move(antennas),
-              util::Rng(seed)) {}
+              util::Rng(seed), std::move(flags)) {}
 
 void SimReaderClient::apply_filters(const std::vector<C1G2Filter>& filters,
                                     gen2::Session session) {
@@ -77,15 +78,23 @@ void SimReaderClient::run_aispec(const AISpec& spec, ExecutionReport& report) {
 
     // Selects precede every inventory round, re-establishing session flags
     // for the selected subpopulation (including tags that entered the field
-    // since the previous round).
-    apply_filters(spec.filters, spec.session);
+    // since the previous round).  Session-coordinated specs
+    // (rearm_session=false) skip the match-all re-arm so flag state carries
+    // across rounds — and across the other readers sharing the field —
+    // but filtered specs still need their Selects to define the
+    // subpopulation at all.
+    if (spec.rearm_session || !spec.filters.empty()) {
+      apply_filters(spec.filters, spec.session);
+    }
 
     gen2::QueryCommand query;
     query.sel = gen2::QuerySel::kAll;
     query.session = spec.session;
-    // All rounds target A: the preceding Select (filtered or match-all)
-    // just reset the participating tags' flags to A.
-    query.target = gen2::InvFlag::kA;
+    // Re-armed rounds target A (the preceding Select just reset the
+    // participants there); coordinated rounds target the spec's flag.
+    query.target = (spec.rearm_session || !spec.filters.empty())
+                       ? gen2::InvFlag::kA
+                       : spec.target;
     query.q = spec.initial_q;
 
     const gen2::RoundStats stats = reader_.run_inventory_round(query, on_read);

@@ -6,6 +6,7 @@
 // rounds on the simulator, streaming TagReportData-equivalent readings back.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "gen2/reader.hpp"
@@ -23,10 +24,15 @@ namespace tagwatch::llrp {
 /// the paper's measurements assume.
 class SimReaderClient final : public ReaderClient {
  public:
-  /// `world` and `channel` must outlive the client.
+  /// `world` and `channel` must outlive the client.  `flags` is the
+  /// session-flag field the simulated reader energizes: fleet deployments
+  /// pass one shared field to every client over the same world so readers
+  /// observe each other's inventoried-flag flips; nullptr gives the reader
+  /// a private field (the classic single-reader setup).
   SimReaderClient(gen2::LinkTiming timing, gen2::ReaderConfig config,
                   sim::World& world, const rf::RfChannel& channel,
-                  std::vector<rf::Antenna> antennas, std::uint64_t seed);
+                  std::vector<rf::Antenna> antennas, std::uint64_t seed,
+                  std::shared_ptr<gen2::TagFlagField> flags = nullptr);
 
   void set_read_listener(gen2::ReadCallback listener) override {
     listener_ = std::move(listener);

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +38,32 @@ struct SimTag {
 struct SimReflector {
   std::shared_ptr<const MotionModel> motion;
   double reflection_coefficient = 0.2;
+};
+
+/// A reader's nominal coverage region: a named disc (cylinder — z ignored)
+/// on the warehouse floor.  Fleet deployments register one zone per reader;
+/// zones may overlap, which is exactly the case cross-reader dedup and
+/// session coordination exist for.
+struct Zone {
+  std::string name;
+  util::Vec3 center;
+  double radius_m = 0.0;
+
+  /// True when `p` lies inside the zone footprint (boundary inclusive; the
+  /// z coordinate is ignored — antennas mount overhead).
+  bool contains(util::Vec3 p) const noexcept {
+    const double dx = p.x - center.x;
+    const double dy = p.y - center.y;
+    return dx * dx + dy * dy <= radius_m * radius_m;
+  }
+};
+
+/// A tag leaving the scene via World::remove_tag(), with the clock reading
+/// at removal.  Flag mirrors consume this to apply Gen2 power-loss
+/// persistence (a removed tag is de-energized from that instant).
+struct TagDeparture {
+  util::Epc epc;
+  util::SimTime at{0};
 };
 
 /// Scene container plus the simulation clock.
@@ -78,6 +105,22 @@ class World {
   /// add_tag() keeps old indexes valid and does NOT bump it.
   std::uint64_t structure_epoch() const noexcept { return structure_epoch_; }
 
+  /// Registers a named coverage zone (fleet deployments: one per reader).
+  /// Returns its index into zones().  Duplicate names throw.
+  std::size_t add_zone(Zone zone);
+
+  const std::vector<Zone>& zones() const noexcept { return zones_; }
+
+  /// Looks up a zone by name, or nullptr.
+  const Zone* find_zone(std::string_view name) const;
+
+  /// Append-only log of remove_tag() events, oldest first.  Flag mirrors
+  /// keep a cursor into this to learn *when* a tag was de-energized (the
+  /// epoch bump alone says only that indexes shifted, not at what time).
+  const std::vector<TagDeparture>& departures() const noexcept {
+    return departures_;
+  }
+
   /// Snapshot of all reflector positions at time `t` for the RF channel.
   std::vector<rf::Reflector> reflectors_at(util::SimTime t) const;
 
@@ -92,6 +135,8 @@ class World {
  private:
   std::vector<SimTag> tags_;
   std::vector<SimReflector> reflectors_;
+  std::vector<Zone> zones_;
+  std::vector<TagDeparture> departures_;
   std::unordered_map<util::Epc, std::size_t> index_;
   util::SimTime now_{0};
   std::uint64_t structure_epoch_ = 0;

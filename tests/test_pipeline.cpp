@@ -304,6 +304,71 @@ TEST(ReadingPipeline, BatchDispatchClockChargingIsExact) {
   EXPECT_EQ(pipeline.dispatched_total(), 101u);
 }
 
+// ----------------------------------------------------- per-source stats
+
+TEST(ReadingPipeline, StatsSplitPerSourceInFirstSeenOrder) {
+  ReadingPipeline pipeline;
+  auto sink = std::make_shared<CountingSink>("s");
+  pipeline.add_sink(sink);
+
+  // Source 2 dispatches before source 0 ever shows up explicitly; the
+  // source-0 row still leads (it is created with the sink), then sources
+  // appear in first-seen order.
+  pipeline.dispatch(make_reading(), {0, ReadPhase::kPhase1, /*source_id=*/2});
+  pipeline.dispatch(make_reading(), {0, ReadPhase::kPhase1, /*source_id=*/0});
+  pipeline.dispatch(make_reading(), {0, ReadPhase::kPhase2, /*source_id=*/2});
+  pipeline.dispatch(make_reading(), {0, ReadPhase::kPhase1, /*source_id=*/1});
+
+  const auto stats = pipeline.stats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].source_id, 0u);
+  EXPECT_EQ(stats[1].source_id, 2u);
+  EXPECT_EQ(stats[2].source_id, 1u);
+  EXPECT_EQ(stats[0].delivered, 1u);
+  EXPECT_EQ(stats[1].delivered, 2u);
+  EXPECT_EQ(stats[2].delivered, 1u);
+  for (const auto& s : stats) EXPECT_EQ(s.name, "s");
+  EXPECT_EQ(sink->seen_, 4u);
+  EXPECT_EQ(pipeline.dispatched_total(), 4u);
+}
+
+TEST(ReadingPipeline, SingleSourcePipelinesKeepTheLegacyStatsShape) {
+  // Source attribution must be invisible until a second source exists:
+  // one row per sink, source 0, exactly as before the fleet refactor.
+  ReadingPipeline pipeline;
+  pipeline.add_sink(std::make_shared<CountingSink>("a"));
+  pipeline.add_sink(std::make_shared<CountingSink>("b"));
+  pipeline.dispatch_batch(make_batch(7), {});
+  const auto stats = pipeline.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "a");
+  EXPECT_EQ(stats[1].name, "b");
+  EXPECT_EQ(stats[0].source_id, 0u);
+  EXPECT_EQ(stats[1].source_id, 0u);
+  EXPECT_EQ(stats[0].delivered, 7u);
+}
+
+TEST(ReadingPipeline, PerSourceRowsAccountDropsAndExceptionsSeparately) {
+  ReadingPipeline pipeline;
+  pipeline.add_sink(std::make_shared<ThrowingSink>("bomb", /*every=*/1));
+  pipeline.dispatch_batch(make_batch(3), {0, ReadPhase::kPhase1, 0});
+  pipeline.dispatch_batch(make_batch(2), {0, ReadPhase::kPhase1, 1});
+  const auto stats = pipeline.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].source_id, 0u);
+  EXPECT_EQ(stats[0].dropped, 3u);
+  EXPECT_EQ(stats[0].exceptions, 3u);
+  EXPECT_EQ(stats[1].source_id, 1u);
+  EXPECT_EQ(stats[1].dropped, 2u);
+  EXPECT_EQ(stats[1].exceptions, 2u);
+
+  // Cycle-end throws have no source: they accrue to the source-0 row.
+  CycleReport report;
+  pipeline.end_cycle(report);
+  EXPECT_EQ(pipeline.stats()[0].exceptions, 4u);
+  EXPECT_EQ(pipeline.stats()[1].exceptions, 2u);
+}
+
 // ------------------------------------------------- controller integration
 
 struct PipelineBed {

@@ -33,6 +33,20 @@
 //                                 simulating (world keys are ignored)
 //   pipeline_stats  = false       print per-sink delivery accounting
 //
+// Fleet keys (multi-reader mode; see docs/API.md "Fleet and sessions").
+// Setting fleet.readers >= 2 switches to a FleetController over a strip of
+// overlapping zones; record_journal/replay_journal then act as path
+// prefixes (<prefix>.reader<k>.csv per reader, <prefix>.fleet.csv for the
+// fleet journal):
+//   fleet.readers   = 1           reader count (>= 2 enables fleet mode)
+//   fleet.pitch     = 4.0         zone spacing along the strip (m)
+//   fleet.radius    = 3.0         zone radius (m); > pitch/2 overlaps seams
+//   fleet.policy    = independent independent | shared | per-reader
+//   fleet.session   = S1          Gen2 session (shared/base session)
+//   fleet.target    = A           A | B inventoried target when not re-arming
+//   fleet.dedup_ms  = 500         cross-reader dedup window (0 disables)
+//   fleet.seam_tags = 0           extra static tags planted on each seam
+//
 // Fault-injection keys (flaky-reader drills; see docs/API.md "Failure
 // model & degraded mode"):
 //   fault_injection      = false  wrap the reader in a fault injector
@@ -52,6 +66,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fleet.hpp"
 #include "core/metrics.hpp"
 #include "core/schedule_export.hpp"
 #include "core/tagwatch.hpp"
@@ -93,7 +108,9 @@ constexpr const char* kAcceptedKeys[] = {
     "pipeline_stats", "fault_injection", "fault_rate", "fault_seed",
     "fault_drop_rate", "fault_duplicate_rate", "fault_corrupt_rate",
     "fault_reconnect_ms", "retry_attempts", "degrade_after",
-    "restore_after", "scheduler_evaluation"};
+    "restore_after", "scheduler_evaluation",
+    "fleet.readers", "fleet.pitch", "fleet.radius", "fleet.policy",
+    "fleet.session", "fleet.target", "fleet.dedup_ms", "fleet.seam_tags"};
 
 void reject_unknown_keys(const util::KeyValueConfig& cfg) {
   for (const std::string& key : cfg.keys()) {
@@ -152,6 +169,233 @@ double double_in(const util::KeyValueConfig& cfg, const std::string& key,
   return v;
 }
 
+gen2::InvFlag parse_inv_target(const std::string& target) {
+  if (target == "A") return gen2::InvFlag::kA;
+  if (target == "B") return gen2::InvFlag::kB;
+  throw std::invalid_argument("unknown fleet.target: " + target +
+                              " (expected A|B)");
+}
+
+/// Multi-reader path: a strip of overlapping zones under a
+/// FleetController.  Entered when fleet.readers >= 2; shares the scalar
+/// keys (tags, movers, cycles, seed, ...) with the single-reader path.
+int run_fleet(const util::KeyValueConfig& cfg) {
+  const auto n_readers =
+      static_cast<std::size_t>(int_in(cfg, "fleet.readers", 2, 2, 16));
+  const double pitch = double_in(cfg, "fleet.pitch", 4.0, 0.5, 1000.0);
+  const double radius = double_in(cfg, "fleet.radius", 3.0, 0.5, 1000.0);
+  const core::SessionPolicy policy =
+      core::session_policy_from_string(cfg.get_or("fleet.policy",
+                                                  "independent"));
+  const gen2::Session session =
+      gen2::session_from_string(cfg.get_or("fleet.session", "S1"));
+  const gen2::InvFlag target =
+      parse_inv_target(cfg.get_or("fleet.target", "A"));
+  const auto dedup_window =
+      util::msec(int_in(cfg, "fleet.dedup_ms", 500, 0, 3600000));
+  const auto seam_tags =
+      static_cast<std::size_t>(int_in(cfg, "fleet.seam_tags", 0, 0, 1000));
+
+  const auto n_tags =
+      static_cast<std::size_t>(int_in(cfg, "tags", 40, 1, 100000));
+  const auto n_movers = static_cast<std::size_t>(
+      int_in(cfg, "movers", 2, 0, static_cast<std::int64_t>(n_tags)));
+  const double mover_speed = double_in(cfg, "mover_speed", 0.7, 0.0, 100.0);
+  const auto cycles =
+      static_cast<std::size_t>(int_in(cfg, "cycles", 10, 1, 1000000));
+  const auto seed = static_cast<std::uint64_t>(int_in(
+      cfg, "seed", 2017, 0, std::numeric_limits<std::int64_t>::max()));
+  if (cfg.get_bool_or("fault_injection", false)) {
+    throw std::invalid_argument(
+        "fault_injection is not supported in fleet mode");
+  }
+
+  // ------------------------------------------------------------- world
+  // Statics round-robin across the zone centers, extra statics on every
+  // seam, movers orbiting the middle of the strip so they cross zones.
+  sim::World world;
+  util::Rng rng(seed);
+  const double strip_mid = static_cast<double>(n_readers - 1) * pitch / 2.0;
+  for (std::size_t i = 0; i < n_tags; ++i) {
+    sim::SimTag tag;
+    tag.epc = util::Epc::random(rng);
+    if (i < n_movers) {
+      tag.motion = std::make_shared<sim::CircularTrack>(
+          util::Vec3{strip_mid, 0, 0}, pitch * 0.6, mover_speed,
+          rng.uniform(0.0, util::kTwoPi));
+    } else {
+      const double cx = static_cast<double>((i - n_movers) % n_readers) * pitch;
+      tag.motion = std::make_shared<sim::StaticMotion>(util::Vec3{
+          cx + rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5), 0.0});
+    }
+    tag.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+    world.add_tag(std::move(tag));
+  }
+  for (std::size_t r = 0; r + 1 < n_readers; ++r) {
+    const double seam_x = (static_cast<double>(r) + 0.5) * pitch;
+    for (std::size_t i = 0; i < seam_tags; ++i) {
+      sim::SimTag tag;
+      tag.epc = util::Epc::random(rng);
+      tag.motion = std::make_shared<sim::StaticMotion>(
+          util::Vec3{seam_x, rng.uniform(-0.3, 0.3), 0.0});
+      tag.tag_phase_rad = rng.uniform(0.0, util::kTwoPi);
+      world.add_tag(std::move(tag));
+    }
+  }
+
+  // ----------------------------------------------------------- readers
+  const std::int64_t channels = int_in(cfg, "channels", 1, 1, 16);
+  rf::RfChannel channel(channels == 16
+                            ? rf::ChannelPlan::china_920_926()
+                            : rf::ChannelPlan::single(920.625e6));
+  auto field = std::make_shared<gen2::TagFlagField>(
+      gen2::SessionTiming::spec_default());
+  const std::string record_path = cfg.get_or("record_journal", "");
+  const std::string replay_path = cfg.get_or("replay_journal", "");
+  std::vector<std::unique_ptr<llrp::SimReaderClient>> sims;
+  std::vector<std::unique_ptr<llrp::RecordingReaderClient>> recorders;
+  std::vector<std::unique_ptr<llrp::ReplayReaderClient>> replayers;
+  std::vector<core::FleetReaderSpec> specs;
+  for (std::size_t r = 0; r < n_readers; ++r) {
+    const double cx = static_cast<double>(r) * pitch;
+    sim::Zone zone{"zone-" + std::to_string(r), {cx, 0, 0}, radius};
+    llrp::ReaderClient* client = nullptr;
+    if (!replay_path.empty()) {
+      const std::string path =
+          replay_path + ".reader" + std::to_string(r) + ".csv";
+      replayers.push_back(std::make_unique<llrp::ReplayReaderClient>(
+          llrp::ReaderJournal::load(path)));
+      client = replayers.back().get();
+      std::printf("replaying reader %zu from %s (%zu operations)\n", r,
+                  path.c_str(), replayers.back()->remaining());
+    } else {
+      gen2::ReaderConfig rc;
+      rc.coverage = zone;
+      sims.push_back(std::make_unique<llrp::SimReaderClient>(
+          gen2::LinkTiming(gen2::LinkParams::paper_testbed()), rc, world,
+          channel, std::vector<rf::Antenna>{{1, {cx, 0, 2}, 8.0}},
+          seed + 10 + r, field));
+      client = sims.back().get();
+      if (!record_path.empty()) {
+        recorders.push_back(
+            std::make_unique<llrp::RecordingReaderClient>(*client));
+        client = recorders.back().get();
+      }
+    }
+    specs.push_back({client, zone});
+  }
+
+  // -------------------------------------------------------------- fleet
+  core::FleetConfig fcfg;
+  fcfg.controller.mode = parse_mode(cfg.get_or("mode", "tagwatch"));
+  fcfg.controller.greedy_evaluation =
+      parse_evaluation(cfg.get_or("scheduler_evaluation", "lazy"));
+  fcfg.controller.phase2_duration =
+      util::sec(int_in(cfg, "phase2_seconds", 5, 1, 3600));
+  fcfg.controller.pinned_targets = cfg.get_epc_list("pinned_targets");
+  fcfg.controller.query_target = target;
+  fcfg.controller.assessor.mobile_vote_threshold =
+      static_cast<std::size_t>(int_in(cfg, "votes", 1, 1, 100));
+  fcfg.controller.assessor.detector.phase_mog.max_components =
+      static_cast<std::size_t>(int_in(cfg, "k", 8, 1, 64));
+  fcfg.controller.assessor_threads =
+      static_cast<std::size_t>(int_in(cfg, "assessor_threads", 1, 1, 64));
+  fcfg.policy = policy;
+  fcfg.shared_session = session;
+  fcfg.dedup_window = dedup_window;
+  // Replay has no world to sync the zone ledger against; the EPC-map
+  // fallback produces identical handoffs.
+  core::FleetController fleet(fcfg, specs,
+                              replay_path.empty() ? &world : nullptr);
+
+  // The fleet pipeline has no sinks until the application hangs one on it;
+  // a counting sink gives the stats table its per-reader source rows.
+  const bool pipeline_stats = cfg.get_bool_or("pipeline_stats", false);
+  if (pipeline_stats) {
+    fleet.pipeline().add_sink(std::make_shared<core::CallbackSink>(
+        "app", [](const rf::TagReading&) {}));
+  }
+
+  std::printf("\nfleet: %zu readers, policy %s, session %s, target %s, "
+              "dedup %.0f ms\n",
+              n_readers, core::to_string(policy), gen2::to_string(session),
+              target == gen2::InvFlag::kA ? "A" : "B",
+              util::to_millis(dedup_window));
+  std::printf("\n%5s  %9s  %10s  %11s  %7s  %9s\n", "cycle", "readings",
+              "delivered", "duplicates", "dup %", "handoffs");
+  std::vector<core::FleetCycleReport> reports;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    reports.push_back(fleet.run_cycle());
+    const core::FleetCycleReport& r = reports.back();
+    std::printf("%5zu  %9zu  %10zu  %11zu  %6.2f%%  %9zu\n", r.cycle_index,
+                r.readings_total, r.delivered_total, r.duplicates_total,
+                r.cross_reader_dup_ratio() * 100.0, r.handoffs.size());
+  }
+
+  // --------------------------------------------------------- reporting
+  std::printf("\n%-10s  %-10s  %10s  %11s\n", "reader", "zone", "delivered",
+              "duplicates");
+  for (std::size_t r = 0; r < n_readers; ++r) {
+    std::size_t delivered = 0;
+    std::size_t duplicates = 0;
+    for (const core::FleetCycleReport& report : reports) {
+      delivered += report.readers[r].delivered;
+      duplicates += report.readers[r].duplicates;
+    }
+    std::printf("reader %-3zu  %-10s  %10zu  %11zu\n", r,
+                specs[r].zone.name.c_str(), delivered, duplicates);
+  }
+
+  std::size_t handoffs_total = 0;
+  for (const core::FleetCycleReport& report : reports) {
+    handoffs_total += report.handoffs.size();
+  }
+  if (handoffs_total > 0) {
+    std::printf("\n%zu zone handoffs (first 10):\n", handoffs_total);
+    std::size_t shown = 0;
+    for (const core::FleetCycleReport& report : reports) {
+      for (const llrp::FleetHandoffRecord& h : report.handoffs) {
+        if (shown++ >= 10) break;
+        std::printf("  %-26s  reader %zu -> %zu at %.3f s\n",
+                    h.epc.to_hex().substr(0, 24).c_str(), h.from_reader,
+                    h.to_reader, util::to_seconds(h.at));
+      }
+    }
+  }
+
+  if (pipeline_stats) {
+    std::printf("\n%-10s  %7s  %10s  %8s  %12s\n", "sink", "source",
+                "delivered", "dropped", "mean us/read");
+    for (const core::SinkStats& s : fleet.pipeline().stats()) {
+      std::printf("%-10s  %7zu  %10llu  %8llu  %12.3f\n", s.name.c_str(),
+                  s.source_id, static_cast<unsigned long long>(s.delivered),
+                  static_cast<unsigned long long>(s.dropped),
+                  s.mean_dispatch_us());
+    }
+  }
+
+  std::printf("\nfleet journal: %zu records, digest %016llx\n",
+              fleet.journal().size(),
+              static_cast<unsigned long long>(
+                  llrp::fleet_journal_digest(fleet.journal())));
+  if (!record_path.empty() && replay_path.empty()) {
+    for (std::size_t r = 0; r < recorders.size(); ++r) {
+      const std::string path =
+          record_path + ".reader" + std::to_string(r) + ".csv";
+      recorders[r]->journal().save(path);
+      std::printf("recorded reader %zu: %zu operations to %s (digest "
+                  "%016llx)\n",
+                  r, recorders[r]->journal().size(), path.c_str(),
+                  static_cast<unsigned long long>(
+                      llrp::journal_digest(recorders[r]->journal())));
+    }
+    fleet.journal().save(record_path + ".fleet.csv");
+    std::printf("recorded fleet journal to %s.fleet.csv\n",
+                record_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run(int argc, char** argv);
@@ -175,6 +419,10 @@ int run(int argc, char** argv) {
   }
 
   reject_unknown_keys(cfg);
+
+  if (int_in(cfg, "fleet.readers", 1, 1, 16) >= 2) {
+    return run_fleet(cfg);
+  }
 
   const auto n_tags =
       static_cast<std::size_t>(int_in(cfg, "tags", 40, 1, 100000));
