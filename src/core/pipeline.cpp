@@ -79,6 +79,7 @@ void ReadingPipeline::dispatch(const rf::TagReading& reading,
     ++stats.batches;
     if (accepted) {
       ++stats.delivered;
+      if (context.recovered) ++stats.recovered;
     } else {
       ++stats.dropped;
     }
@@ -104,6 +105,7 @@ void ReadingPipeline::dispatch_batch(
       }
       if (accepted) {
         ++stats.delivered;
+        if (context.recovered) ++stats.recovered;
       } else {
         ++stats.dropped;
       }

@@ -49,6 +49,58 @@ struct ResilienceConfig {
   bool salvage_partial_reports = true;
 };
 
+/// Fleet-level view of one reader's availability (core::FleetHealth).
+enum class ReaderState {
+  kHealthy,    ///< Normal TDM participation.
+  kSuspect,    ///< Elevated error rate; still runs every cycle.
+  kDown,       ///< Declared failed; skipped except for periodic probes.
+  kProbation,  ///< A probe succeeded; earning its way back to Healthy.
+};
+
+inline const char* to_string(ReaderState state) {
+  switch (state) {
+    case ReaderState::kHealthy: return "healthy";
+    case ReaderState::kSuspect: return "suspect";
+    case ReaderState::kDown: return "down";
+    case ReaderState::kProbation: return "probation";
+  }
+  return "unknown";
+}
+
+/// Fleet failure-detection / takeover knobs (consumed by core::FleetHealth
+/// and FleetController; the per-reader retry machinery above is separate
+/// and still lives in TagwatchConfig::resilience).
+struct FleetResilienceConfig {
+  /// Consecutive blackout cycles (errored executes and zero readings)
+  /// before a Healthy reader is marked Suspect, then Down.
+  std::size_t suspect_after_failures = 2;
+  std::size_t down_after_failures = 3;
+  /// Sliding window (in run cycles) of the error-rate detector: when the
+  /// window is full and at least error_rate_threshold of it saw errored
+  /// executes, the reader is marked Suspect even without blackouts.
+  std::size_t error_window = 8;
+  double error_rate_threshold = 0.5;
+  /// While Down, the reader still runs one probe cycle out of every
+  /// probe_period fleet cycles (1 = probe every cycle, never skip).
+  std::size_t probe_period = 2;
+  /// Clean probe cycles required to climb from Probation back to Healthy.
+  std::size_t probation_cycles = 2;
+  /// Radius cap for a survivor's zone during takeover, meters.  Zero means
+  /// "twice the survivor's own original radius" (the power budget: a COTS
+  /// reader can roughly double its footprint before regulatory limits).
+  double takeover_radius_budget_m = 0.0;
+  /// Fixed radius expansion used by TakeoverPolicy::kStaticNeighbor.
+  double static_expand_m = 1.0;
+  /// Capacity of the bounded orphaned-EPC re-cover queue; overflow is
+  /// dropped and counted (RecoverStats::dropped).
+  std::size_t recover_queue_capacity = 1024;
+  /// Fleet watchdog: a reader cycle consuming more sim time than this
+  /// counts as a failed cycle for its state machine.  Also stamped into
+  /// per-reader controllers whose own cycle_watchdog_budget is unset, so
+  /// a wedged reader cannot stall the whole TDM rotation.  Zero disables.
+  util::SimDuration reader_cycle_budget{0};
+};
+
 /// Cumulative controller health counters, snapshotted into every
 /// CycleReport and surfaced through PipelineMetrics.
 struct HealthMetrics {

@@ -284,7 +284,8 @@ CycleReport TagwatchController::run_cycle() {
     if (!quarantined_.empty()) ai.antenna_indexes = healthy_antennas();
     ai.session = config_.session;
     ai.target = config_.query_target;
-    ai.rearm_session = config_.rearm_session;
+    ai.rearm_session = config_.rearm_session || rearm_once_;
+    rearm_once_ = false;
     ai.initial_q = config_.phase1_initial_q;
     ai.stop = llrp::AiSpecStopTrigger::after_rounds(
         n_antennas * config_.phase1_rounds_per_antenna);
@@ -321,6 +322,9 @@ CycleReport TagwatchController::run_cycle() {
                                            report.mobile.end());
   for (const auto& pinned : config_.pinned_targets) {
     if (scene_set.contains(pinned)) target_set.insert(pinned);
+  }
+  for (const auto& extra : extra_targets_) {
+    if (scene_set.contains(extra)) target_set.insert(extra);
   }
   report.targets.assign(target_set.begin(), target_set.end());
   std::sort(report.targets.begin(), report.targets.end());

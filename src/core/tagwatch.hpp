@@ -187,6 +187,21 @@ class TagwatchController {
   llrp::ReaderClient& client() noexcept { return *client_; }
   util::SimTime now() const noexcept { return client_->now(); }
 
+  /// Arms a one-shot session re-arm: the next cycle's Phase I opens with a
+  /// match-all Select resetting the session flag to A even when
+  /// config().rearm_session is false.  Zone takeover uses it — tags
+  /// inherited from a failed reader can still hold B flags (S2/S3 survive
+  /// power gaps), and a no-rearm policy would otherwise never read them.
+  void arm_session_rearm_once() noexcept { rearm_once_ = true; }
+
+  /// Extra always-scheduled Phase II targets, beyond
+  /// config().pinned_targets — the fleet's re-cover queue during zone
+  /// takeover.  Replaces the previous set; like pinned targets, only EPCs
+  /// present in the cycle's scene are actually scheduled.
+  void set_extra_targets(std::vector<util::Epc> targets) {
+    extra_targets_ = std::move(targets);
+  }
+
   /// Cumulative resilience counters (faults, retries, backoff, degraded
   /// transitions) since construction.
   const HealthMetrics& health() const noexcept { return health_; }
@@ -233,6 +248,10 @@ class TagwatchController {
   std::size_t cycle_counter_ = 0;
   /// Timestamp of the first Phase II reading of the running cycle.
   std::optional<util::SimTime> first_read_;
+  /// One-shot Phase-I session re-arm (see arm_session_rearm_once()).
+  bool rearm_once_ = false;
+  /// Scene-gated extra Phase II targets (see set_extra_targets()).
+  std::vector<util::Epc> extra_targets_;
 
   // ------------------------------------------------- resilience state
   HealthMetrics health_;

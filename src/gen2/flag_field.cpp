@@ -47,6 +47,16 @@ void TagFlagField::sync(const sim::World& world) {
   }
 }
 
+std::size_t TagFlagField::count_b(const sim::World& world, Session session,
+                                  util::SimTime now) {
+  sync(world);
+  std::size_t count = 0;
+  for (const TagFlags& flags : flags_) {
+    if (flags.session_flag_at(session, now) == InvFlag::kB) ++count;
+  }
+  return count;
+}
+
 const TagFlags* TagFlagField::find(const sim::World& world,
                                    const util::Epc& epc) {
   sync(world);

@@ -55,6 +55,13 @@ class TagFlagField {
   /// Number of departed-tag stash entries (diagnostics/tests).
   std::size_t departed_count() const noexcept { return departed_.size(); }
 
+  /// Census: how many present tags read B on `session` at `now` (decay
+  /// applied).  B tags are invisible to target-A queries until re-armed or
+  /// decayed — the quantity zone takeover's session-aware re-inventory
+  /// exists to drive back down.  Syncs the mirror against `world` first.
+  std::size_t count_b(const sim::World& world, Session session,
+                      util::SimTime now);
+
  private:
   struct DepartedEntry {
     TagFlags flags;

@@ -132,6 +132,13 @@ class Gen2Reader {
   const ReaderConfig& config() const noexcept { return config_; }
   sim::World& world() noexcept { return *world_; }
 
+  /// Replaces the coverage zone (nullopt = whole world).  Zone takeover
+  /// widens a fleet survivor's field at runtime; only subsequent Selects
+  /// and rounds see the new footprint.
+  void set_coverage(std::optional<sim::Zone> zone) {
+    config_.coverage = std::move(zone);
+  }
+
   /// Protocol flags of a tag (in the field or departed), or nullptr if the
   /// reader has never interacted with it.  Diagnostics/tests; may refresh
   /// the dense mirror against the world first.

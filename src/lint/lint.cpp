@@ -483,6 +483,7 @@ void check_journal_discipline(const std::vector<SourceFile>& files,
   const SourceFile* enum_hdr = find_file(files, "llrp/reader_client.hpp");
   const SourceFile* name_src = find_file(files, "llrp/reader_client.cpp");
   const SourceFile* health_hdr = find_file(files, "core/resilience.hpp");
+  const SourceFile* inject_src = find_file(files, "llrp/fault_injection.cpp");
   if (enum_hdr != nullptr) {
     const std::string hdr = scrub_comments_and_strings(enum_hdr->content);
     const std::vector<std::string> kinds =
@@ -518,6 +519,18 @@ void check_journal_discipline(const std::vector<SourceFile>& files,
                        "ReaderErrorKind::" + kind +
                            " not counted by HealthMetrics::count_fault in " +
                            health_hdr->path});
+      }
+      // The fault injector must be able to produce every error kind, or
+      // the chaos harness silently stops covering it (and a journaled X
+      // record of that kind could never have come from a drill).
+      if (inject_src != nullptr &&
+          scrub_comments(inject_src->content)
+                  .find("ReaderErrorKind::" + kind) == std::string::npos) {
+        out.push_back({enum_hdr->path, enum_line, "journal-discipline",
+                       "ReaderErrorKind::" + kind +
+                           " never injected by FaultInjectingReaderClient "
+                           "in " +
+                           inject_src->path});
       }
     }
   }

@@ -47,6 +47,15 @@ std::optional<ScriptedFault> FaultInjectingReaderClient::fault_for(
       return f;
     }
   }
+  const util::SimTime now = inner_->now();
+  for (const OutageWindow& o : plan_.outages) {
+    if (now >= o.from && (!o.until.has_value() || now < *o.until)) {
+      ScriptedFault f;
+      f.execute_index = index;
+      f.kind = ReaderErrorKind::kDisconnected;
+      return f;
+    }
+  }
   if (disconnect_remaining_ > 0) {
     --disconnect_remaining_;
     ScriptedFault f;

@@ -27,6 +27,18 @@ struct ScriptedFault {
   std::size_t antenna = 0;  ///< kAntennaLost: which antenna port dies.
 };
 
+/// A scripted availability window on the sim clock: every execute()
+/// starting inside [from, until) fails as kDisconnected.  Unlike
+/// ScriptedFault (indexed by execute count, which retries make hard to
+/// predict across a whole fleet cycle), outages are anchored to sim time —
+/// the "reader death" / flap primitive behind tagwatch_sim's
+/// fleet.fault.down_s / fleet.fault.up_s keys.
+struct OutageWindow {
+  util::SimTime from{0};
+  /// nullopt: the outage never ends (permanent reader death).
+  std::optional<util::SimTime> until;
+};
+
 /// Seeded, config-driven fault schedule.
 struct FaultPlan {
   std::uint64_t seed = 0xfa171;
@@ -42,6 +54,10 @@ struct FaultPlan {
   double weight_partial_report = 0.0;
   /// Deterministic "fail spec #k" triggers.
   std::vector<ScriptedFault> scripted;
+  /// Sim-time windows in which every execute fails with kDisconnected
+  /// (each failure still charges reconnect_latency, so the clock — and
+  /// therefore the window — always makes progress).
+  std::vector<OutageWindow> outages;
   /// Fraction of the inner readings surviving a Timeout / ProtocolError /
   /// PartialReport failure (the salvageable partial report).
   double failure_keep_fraction = 0.5;
@@ -97,6 +113,9 @@ class FaultInjectingReaderClient final : public ReaderClient {
   /// port whose cable was pulled.
   ReaderCapabilities capabilities() const override;
   void advance(util::SimDuration d) override { inner_->advance(d); }
+  bool set_coverage_zone(const sim::Zone& zone) override {
+    return inner_->set_coverage_zone(zone);
+  }
 
   const FaultPlan& plan() const noexcept { return plan_; }
   const InjectionStats& stats() const noexcept { return stats_; }

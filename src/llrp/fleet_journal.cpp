@@ -76,16 +76,35 @@ std::string FleetJournal::to_csv() const {
       << gen2::to_string(setup.session) << ',' << setup.dedup_window.count()
       << '\n';
   for (const FleetJournalEntry& e : entries_) {
-    if (e.kind == FleetJournalEntry::Kind::kHandoff) {
-      out << "H," << e.handoff.epc.to_binary() << ',' << e.handoff.from_reader
-          << ',' << e.handoff.to_reader << ',' << e.handoff.at.count()
-          << '\n';
-      continue;
+    switch (e.kind) {
+      case FleetJournalEntry::Kind::kHandoff:
+        out << "H," << e.handoff.epc.to_binary() << ','
+            << e.handoff.from_reader << ',' << e.handoff.to_reader << ','
+            << e.handoff.at.count() << '\n';
+        break;
+      case FleetJournalEntry::Kind::kDown:
+        out << "D," << e.down.cycle << ',' << e.down.reader << ','
+            << sanitize_field(e.down.zone) << ','
+            << e.down.consecutive_failures << '\n';
+        break;
+      case FleetJournalEntry::Kind::kTakeover:
+        out << "T," << e.takeover.cycle << ',' << e.takeover.from_reader
+            << ',' << e.takeover.to_reader << ',' << e.takeover.radius_mm
+            << '\n';
+        break;
+      case FleetJournalEntry::Kind::kRecover:
+        out << "R," << e.recover.cycle << ',' << e.recover.reader << ','
+            << e.recover.down_for_cycles << '\n';
+        break;
+      case FleetJournalEntry::Kind::kCycle: {
+        const FleetCycleRecord& c = e.cycle;
+        out << "F," << c.cycle << ',' << c.reader << ','
+            << sanitize_field(c.zone) << ',' << c.phase1_readings << ','
+            << c.phase2_readings << ',' << c.delivered << ',' << c.duplicates
+            << '\n';
+        break;
+      }
     }
-    const FleetCycleRecord& c = e.cycle;
-    out << "F," << c.cycle << ',' << c.reader << ',' << sanitize_field(c.zone)
-        << ',' << c.phase1_readings << ',' << c.phase2_readings << ','
-        << c.delivered << ',' << c.duplicates << '\n';
   }
   return out.str();
 }
@@ -141,6 +160,30 @@ FleetJournal FleetJournal::from_csv(std::string_view csv) {
       h.to_reader = static_cast<std::size_t>(parse_int(f[3], line_no));
       h.at = util::SimTime(parse_int(f[4], line_no));
       journal.push_handoff(std::move(h));
+    } else if (f[0] == "D") {
+      if (f.size() != 5) fail(line_no, "down line needs 5 fields");
+      FleetDownRecord d;
+      d.cycle = static_cast<std::size_t>(parse_int(f[1], line_no));
+      d.reader = static_cast<std::size_t>(parse_int(f[2], line_no));
+      d.zone = f[3];
+      d.consecutive_failures =
+          static_cast<std::size_t>(parse_int(f[4], line_no));
+      journal.push_down(std::move(d));
+    } else if (f[0] == "T") {
+      if (f.size() != 5) fail(line_no, "takeover line needs 5 fields");
+      FleetTakeoverRecord t;
+      t.cycle = static_cast<std::size_t>(parse_int(f[1], line_no));
+      t.from_reader = static_cast<std::size_t>(parse_int(f[2], line_no));
+      t.to_reader = static_cast<std::size_t>(parse_int(f[3], line_no));
+      t.radius_mm = parse_int(f[4], line_no);
+      journal.push_takeover(t);
+    } else if (f[0] == "R") {
+      if (f.size() != 4) fail(line_no, "recover line needs 4 fields");
+      FleetRecoverRecord r;
+      r.cycle = static_cast<std::size_t>(parse_int(f[1], line_no));
+      r.reader = static_cast<std::size_t>(parse_int(f[2], line_no));
+      r.down_for_cycles = static_cast<std::size_t>(parse_int(f[3], line_no));
+      journal.push_recover(r);
     } else {
       fail(line_no, "unknown record kind '" + f[0] + "'");
     }

@@ -13,6 +13,9 @@
 //   S — setup: reader count, session policy, shared session, dedup window.
 //   F — one reader's cycle: counts before and after cross-reader dedup.
 //   H — one tag handoff: EPC, source and destination reader, sim time.
+//   D — a reader declared Down by the fleet health state machine.
+//   T — a zone takeover: a survivor's coverage expanded over a Down zone.
+//   R — a Down reader recovered (probation served) and zones restored.
 #pragma once
 
 #include <cstdint>
@@ -55,12 +58,42 @@ struct FleetHandoffRecord {
   util::SimTime at{0};
 };
 
+/// A reader the fleet health state machine declared Down.
+struct FleetDownRecord {
+  std::size_t cycle = 0;
+  std::size_t reader = 0;
+  std::string zone;
+  /// Consecutive failed cycles at the moment of the transition.
+  std::size_t consecutive_failures = 0;
+};
+
+/// A survivor's coverage zone expanded over a Down reader's orphaned zone.
+struct FleetTakeoverRecord {
+  std::size_t cycle = 0;
+  std::size_t from_reader = 0;  ///< The Down reader being covered.
+  std::size_t to_reader = 0;    ///< The survivor whose zone expanded.
+  /// The survivor's expanded coverage radius, integral millimeters (CSV
+  /// discipline: no round-trip floats in journals).
+  std::int64_t radius_mm = 0;
+};
+
+/// A Down reader served probation and returned to Healthy.
+struct FleetRecoverRecord {
+  std::size_t cycle = 0;
+  std::size_t reader = 0;
+  /// Fleet cycles the reader spent not Healthy (Down + Probation).
+  std::size_t down_for_cycles = 0;
+};
+
 /// One journaled fleet event, in emission order.
 struct FleetJournalEntry {
-  enum class Kind { kCycle, kHandoff };
+  enum class Kind { kCycle, kHandoff, kDown, kTakeover, kRecover };
   Kind kind = Kind::kCycle;
-  FleetCycleRecord cycle;      ///< kCycle
-  FleetHandoffRecord handoff;  ///< kHandoff
+  FleetCycleRecord cycle;        ///< kCycle
+  FleetHandoffRecord handoff;    ///< kHandoff
+  FleetDownRecord down;          ///< kDown
+  FleetTakeoverRecord takeover;  ///< kTakeover
+  FleetRecoverRecord recover;    ///< kRecover
 };
 
 class FleetJournal;
@@ -85,6 +118,27 @@ class FleetJournal {
     FleetJournalEntry e;
     e.kind = FleetJournalEntry::Kind::kHandoff;
     e.handoff = std::move(record);
+    entries_.push_back(std::move(e));
+  }
+
+  void push_down(FleetDownRecord record) {
+    FleetJournalEntry e;
+    e.kind = FleetJournalEntry::Kind::kDown;
+    e.down = std::move(record);
+    entries_.push_back(std::move(e));
+  }
+
+  void push_takeover(FleetTakeoverRecord record) {
+    FleetJournalEntry e;
+    e.kind = FleetJournalEntry::Kind::kTakeover;
+    e.takeover = record;
+    entries_.push_back(std::move(e));
+  }
+
+  void push_recover(FleetRecoverRecord record) {
+    FleetJournalEntry e;
+    e.kind = FleetJournalEntry::Kind::kRecover;
+    e.recover = record;
     entries_.push_back(std::move(e));
   }
 

@@ -115,6 +115,16 @@ class ReaderClient {
   /// charges out-of-band host time (e.g. scheduling compute) onto the
   /// timeline so inter-phase gaps reflect it (Fig. 17).
   virtual void advance(util::SimDuration d) = 0;
+
+  /// Reshapes the reader's RF coverage footprint (on hardware: transmit
+  /// power control) — zone takeover widens a fleet survivor's field over a
+  /// failed neighbor's zone.  Returns false when the backend cannot apply
+  /// it: replay clients, whose journals already embed whatever coverage
+  /// was in effect when the run was recorded.
+  virtual bool set_coverage_zone(const sim::Zone& zone) {
+    (void)zone;
+    return false;
+  }
 };
 
 }  // namespace tagwatch::llrp

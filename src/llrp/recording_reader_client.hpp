@@ -31,6 +31,13 @@ class RecordingReaderClient final : public ReaderClient {
   ReaderCapabilities capabilities() const override;
   void advance(util::SimDuration d) override;
 
+  /// Coverage changes pass through un-journaled: the fleet re-derives them
+  /// deterministically from journaled cycle outcomes during replay, and
+  /// the recorded readings already reflect the footprint in effect.
+  bool set_coverage_zone(const sim::Zone& zone) override {
+    return inner_->set_coverage_zone(zone);
+  }
+
   /// The journal accumulated so far.
   const ReaderJournal& journal() const noexcept { return journal_; }
 

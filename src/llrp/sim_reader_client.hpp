@@ -47,6 +47,13 @@ class SimReaderClient final : public ReaderClient {
   /// Advances the simulated world clock (idle reader time).
   void advance(util::SimDuration d) override { reader_.world().advance(d); }
 
+  /// Applies a new coverage footprint to the simulated reader (zone
+  /// takeover).  Always succeeds.
+  bool set_coverage_zone(const sim::Zone& zone) override {
+    reader_.set_coverage(zone);
+    return true;
+  }
+
   /// The underlying simulated reader (for tests and advanced callers).
   gen2::Gen2Reader& reader() noexcept { return reader_; }
   util::SimTime now() const noexcept override { return reader_.now(); }

@@ -233,6 +233,12 @@ std::vector<SourceFile> journal_fixture() {
        "#include \"llrp/reader_journal.hpp\"\n"
        "void serialize() { out << \"E,\" << x; out << \"R,\" << y; }\n"
        "void parse() { if (f[0] == \"E\") {} else if (f[0] == \"R\") {} }\n"},
+      {"src/llrp/fault_injection.cpp",
+       "#include \"llrp/fault_injection.hpp\"\n"
+       "void inject(ReaderErrorKind kind) {\n"
+       "  use(ReaderErrorKind::kTimeout);\n"
+       "  use(ReaderErrorKind::kDisconnected);\n"
+       "}\n"},
   };
 }
 
@@ -243,8 +249,8 @@ TEST(LintJournalDiscipline, ConsistentTablesPass) {
 
 TEST(LintJournalDiscipline, NewEnumeratorMustReachEveryTable) {
   auto files = journal_fixture();
-  // Add a kind to the enum only — serializer, parser, and the health
-  // digest all go stale at once.
+  // Add a kind to the enum only — serializer, parser, the health digest,
+  // and the fault injector all go stale at once.
   files[0].content =
       "#pragma once\n"
       "enum class ReaderErrorKind {\n"
@@ -254,11 +260,28 @@ TEST(LintJournalDiscipline, NewEnumeratorMustReachEveryTable) {
       "};\n";
   const RuleEngine engine;
   const LintReport r = engine.run(files);
-  ASSERT_EQ(r.findings.size(), 3u);
+  ASSERT_EQ(r.findings.size(), 4u);
   for (const Finding& f : r.findings) {
     EXPECT_EQ(f.rule, "journal-discipline");
     EXPECT_NE(f.message.find("kBrownout"), std::string::npos);
   }
+}
+
+TEST(LintJournalDiscipline, InjectorMustCoverEveryKind) {
+  auto files = journal_fixture();
+  // The injector loses a kind: the chaos harness can no longer produce it,
+  // and the lint pins the gap to the enum header.
+  files[4].content =
+      "#include \"llrp/fault_injection.hpp\"\n"
+      "void inject(ReaderErrorKind kind) {\n"
+      "  use(ReaderErrorKind::kTimeout);\n"
+      "}\n";
+  const RuleEngine engine;
+  const LintReport r = engine.run(files);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "journal-discipline");
+  EXPECT_NE(r.findings[0].message.find("kDisconnected"), std::string::npos);
+  EXPECT_NE(r.findings[0].message.find("never injected"), std::string::npos);
 }
 
 TEST(LintJournalDiscipline, SerializedTagMustBeParsed) {

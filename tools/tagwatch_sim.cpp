@@ -47,6 +47,24 @@
 //   fleet.dedup_ms  = 500         cross-reader dedup window (0 disables)
 //   fleet.seam_tags = 0           extra static tags planted on each seam
 //
+// Fleet fault-tolerance keys (see docs/API.md "Fleet failure model").
+// fault_injection=true in fleet mode wraps every reader in a per-reader
+// fault injector (journals then carry the faults through the per-reader
+// path prefixes and replay bit-exactly):
+//   fleet.takeover     = adaptive  none | static | adaptive zone takeover
+//   fleet.suspect_after = 2        consecutive failed cycles -> Suspect
+//   fleet.down_after   = 3         consecutive failed cycles -> Down
+//   fleet.probe_period = 2         probe a Down reader every N fleet cycles
+//   fleet.probation    = 2         clean probes to restore Healthy
+//   fleet.recover_capacity = 1024  bounded orphan re-cover queue size
+//   fleet.fault.rate   = 0         per-execute failure probability [0,1]
+//   fleet.fault.seed   = 99        fault schedule RNG seed (base; +r per
+//                                  reader)
+//   fleet.fault.reader = -1        reader killed by a scripted outage
+//   fleet.fault.down_s = 0         outage start (sim seconds)
+//   fleet.fault.up_s   = 0         outage end (0 = never recovers)
+//   fleet.fault.reconnect_ms = 50  reconnect latency per faulted execute
+//
 // Fault-injection keys (flaky-reader drills; see docs/API.md "Failure
 // model & degraded mode"):
 //   fault_injection      = false  wrap the reader in a fault injector
@@ -110,7 +128,11 @@ constexpr const char* kAcceptedKeys[] = {
     "fault_reconnect_ms", "retry_attempts", "degrade_after",
     "restore_after", "scheduler_evaluation",
     "fleet.readers", "fleet.pitch", "fleet.radius", "fleet.policy",
-    "fleet.session", "fleet.target", "fleet.dedup_ms", "fleet.seam_tags"};
+    "fleet.session", "fleet.target", "fleet.dedup_ms", "fleet.seam_tags",
+    "fleet.takeover", "fleet.suspect_after", "fleet.down_after",
+    "fleet.probe_period", "fleet.probation", "fleet.recover_capacity",
+    "fleet.fault.rate", "fleet.fault.seed", "fleet.fault.reader",
+    "fleet.fault.down_s", "fleet.fault.up_s", "fleet.fault.reconnect_ms"};
 
 void reject_unknown_keys(const util::KeyValueConfig& cfg) {
   for (const std::string& key : cfg.keys()) {
@@ -205,10 +227,18 @@ int run_fleet(const util::KeyValueConfig& cfg) {
       static_cast<std::size_t>(int_in(cfg, "cycles", 10, 1, 1000000));
   const auto seed = static_cast<std::uint64_t>(int_in(
       cfg, "seed", 2017, 0, std::numeric_limits<std::int64_t>::max()));
-  if (cfg.get_bool_or("fault_injection", false)) {
-    throw std::invalid_argument(
-        "fault_injection is not supported in fleet mode");
-  }
+
+  // Fault-tolerance knobs (defaults mirror FleetResilienceConfig).
+  const core::TakeoverPolicy takeover = core::takeover_policy_from_string(
+      cfg.get_or("fleet.takeover", "adaptive"));
+  const double fault_rate = double_in(cfg, "fleet.fault.rate", 0.0, 0.0, 1.0);
+  const std::int64_t fault_reader =
+      int_in(cfg, "fleet.fault.reader", -1, -1, 15);
+  const double fault_down_s =
+      double_in(cfg, "fleet.fault.down_s", 0.0, 0.0, 1e9);
+  const double fault_up_s = double_in(cfg, "fleet.fault.up_s", 0.0, 0.0, 1e9);
+  const bool inject_faults = cfg.get_bool_or("fault_injection", false) ||
+                             fault_rate > 0.0 || fault_reader >= 0;
 
   // ------------------------------------------------------------- world
   // Statics round-robin across the zone centers, extra statics on every
@@ -253,6 +283,7 @@ int run_fleet(const util::KeyValueConfig& cfg) {
   const std::string record_path = cfg.get_or("record_journal", "");
   const std::string replay_path = cfg.get_or("replay_journal", "");
   std::vector<std::unique_ptr<llrp::SimReaderClient>> sims;
+  std::vector<std::unique_ptr<llrp::FaultInjectingReaderClient>> injectors;
   std::vector<std::unique_ptr<llrp::RecordingReaderClient>> recorders;
   std::vector<std::unique_ptr<llrp::ReplayReaderClient>> replayers;
   std::vector<core::FleetReaderSpec> specs;
@@ -261,6 +292,8 @@ int run_fleet(const util::KeyValueConfig& cfg) {
     sim::Zone zone{"zone-" + std::to_string(r), {cx, 0, 0}, radius};
     llrp::ReaderClient* client = nullptr;
     if (!replay_path.empty()) {
+      // A replayed trace already contains its faults (X records): no
+      // injector on this path, ever.
       const std::string path =
           replay_path + ".reader" + std::to_string(r) + ".csv";
       replayers.push_back(std::make_unique<llrp::ReplayReaderClient>(
@@ -276,6 +309,36 @@ int run_fleet(const util::KeyValueConfig& cfg) {
           channel, std::vector<rf::Antenna>{{1, {cx, 0, 2}, 8.0}},
           seed + 10 + r, field));
       client = sims.back().get();
+      if (inject_faults) {
+        // Stack order sim -> injector -> recorder: the recorder journals
+        // the faults (X records) under this reader's path prefix, so a
+        // faulted fleet replays bit-exactly.
+        llrp::FaultPlan plan;
+        plan.seed = static_cast<std::uint64_t>(int_in(
+                        cfg, "fleet.fault.seed", 99, 0,
+                        std::numeric_limits<std::int64_t>::max())) +
+                    r;
+        plan.execute_failure_probability = fault_rate;
+        plan.weight_disconnect = 0.3;
+        plan.weight_partial_report = 0.3;
+        plan.reconnect_latency = util::msec(
+            int_in(cfg, "fleet.fault.reconnect_ms", 50, 0, 60000));
+        if (fault_reader >= 0 &&
+            static_cast<std::size_t>(fault_reader) == r &&
+            (fault_up_s <= 0.0 || fault_up_s > fault_down_s)) {
+          llrp::OutageWindow outage;
+          outage.from =
+              util::msec(static_cast<std::int64_t>(fault_down_s * 1000.0));
+          if (fault_up_s > 0.0) {
+            outage.until =
+                util::msec(static_cast<std::int64_t>(fault_up_s * 1000.0));
+          }
+          plan.outages.push_back(outage);
+        }
+        injectors.push_back(std::make_unique<llrp::FaultInjectingReaderClient>(
+            *client, plan));
+        client = injectors.back().get();
+      }
       if (!record_path.empty()) {
         recorders.push_back(
             std::make_unique<llrp::RecordingReaderClient>(*client));
@@ -303,6 +366,17 @@ int run_fleet(const util::KeyValueConfig& cfg) {
   fcfg.policy = policy;
   fcfg.shared_session = session;
   fcfg.dedup_window = dedup_window;
+  fcfg.takeover = takeover;
+  fcfg.resilience.suspect_after_failures =
+      static_cast<std::size_t>(int_in(cfg, "fleet.suspect_after", 2, 1, 100));
+  fcfg.resilience.down_after_failures =
+      static_cast<std::size_t>(int_in(cfg, "fleet.down_after", 3, 1, 100));
+  fcfg.resilience.probe_period =
+      static_cast<std::size_t>(int_in(cfg, "fleet.probe_period", 2, 1, 100));
+  fcfg.resilience.probation_cycles =
+      static_cast<std::size_t>(int_in(cfg, "fleet.probation", 2, 1, 100));
+  fcfg.resilience.recover_queue_capacity = static_cast<std::size_t>(
+      int_in(cfg, "fleet.recover_capacity", 1024, 1, 1000000));
   // Replay has no world to sync the zone ledger against; the EPC-map
   // fallback produces identical handoffs.
   core::FleetController fleet(fcfg, specs,
@@ -333,17 +407,62 @@ int run_fleet(const util::KeyValueConfig& cfg) {
   }
 
   // --------------------------------------------------------- reporting
-  std::printf("\n%-10s  %-10s  %10s  %11s\n", "reader", "zone", "delivered",
-              "duplicates");
+  std::printf("\n%-10s  %-10s  %10s  %11s  %-9s  %7s  %6s  %6s\n", "reader",
+              "zone", "delivered", "duplicates", "state", "skipped", "probes",
+              "faults");
   for (std::size_t r = 0; r < n_readers; ++r) {
     std::size_t delivered = 0;
     std::size_t duplicates = 0;
+    std::size_t skipped = 0;
+    std::size_t probes = 0;
     for (const core::FleetCycleReport& report : reports) {
       delivered += report.readers[r].delivered;
       duplicates += report.readers[r].duplicates;
+      skipped += report.readers[r].skipped ? 1 : 0;
+      probes += report.readers[r].probe ? 1 : 0;
     }
-    std::printf("reader %-3zu  %-10s  %10zu  %11zu\n", r,
-                specs[r].zone.name.c_str(), delivered, duplicates);
+    const core::FleetReaderCycle& last = reports.back().readers[r];
+    std::printf("reader %-3zu  %-10s  %10zu  %11zu  %-9s  %7zu  %6zu  %6llu\n",
+                r, specs[r].zone.name.c_str(), delivered, duplicates,
+                core::to_string(last.state), skipped, probes,
+                static_cast<unsigned long long>(last.health.faults_total()));
+  }
+
+  std::size_t downs_total = 0;
+  std::size_t takeovers_total = 0;
+  std::size_t recoveries_total = 0;
+  for (const core::FleetCycleReport& report : reports) {
+    downs_total += report.downs.size();
+    takeovers_total += report.takeovers.size();
+    recoveries_total += report.recoveries.size();
+  }
+  if (downs_total + takeovers_total + recoveries_total > 0 ||
+      inject_faults) {
+    const core::RecoverStats rs = fleet.recover_stats();
+    std::printf(
+        "\nfleet health: %zu down events, %zu takeovers, %zu recoveries; "
+        "re-cover queue: %llu enqueued, %llu recovered, %llu dropped, "
+        "%zu pending\n",
+        downs_total, takeovers_total, recoveries_total,
+        static_cast<unsigned long long>(rs.enqueued),
+        static_cast<unsigned long long>(rs.recovered),
+        static_cast<unsigned long long>(rs.dropped), rs.pending);
+    for (const core::FleetCycleReport& report : reports) {
+      for (const llrp::FleetDownRecord& d : report.downs) {
+        std::printf("  cycle %zu: reader %zu (%s) DOWN after %zu failures\n",
+                    d.cycle, d.reader, d.zone.c_str(),
+                    d.consecutive_failures);
+      }
+      for (const llrp::FleetTakeoverRecord& t : report.takeovers) {
+        std::printf("  cycle %zu: reader %zu covers for %zu (radius %.3f m)\n",
+                    t.cycle, t.to_reader, t.from_reader,
+                    static_cast<double>(t.radius_mm) / 1000.0);
+      }
+      for (const llrp::FleetRecoverRecord& rec : report.recoveries) {
+        std::printf("  cycle %zu: reader %zu RECOVERED after %zu cycles\n",
+                    rec.cycle, rec.reader, rec.down_for_cycles);
+      }
+    }
   }
 
   std::size_t handoffs_total = 0;
