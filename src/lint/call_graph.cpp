@@ -1,0 +1,87 @@
+#include "lint/call_graph.hpp"
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace tagwatch::lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::vector<std::string> split_components(const std::string& qualified) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t sep = qualified.find("::", start);
+    if (sep == std::string::npos) {
+      parts.push_back(qualified.substr(start));
+      return parts;
+    }
+    parts.push_back(qualified.substr(start, sep - start));
+    start = sep + 2;
+  }
+}
+
+/// True when `qualified`'s component list ends with `written`'s.
+bool suffix_matches(const std::vector<std::string>& qualified,
+                    const std::vector<std::string>& written) {
+  if (written.size() > qualified.size()) return false;
+  const std::size_t offset = qualified.size() - written.size();
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    if (qualified[offset + i] != written[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CallGraph build_call_graph(const SymbolIndex& index) {
+  CallGraph graph;
+  graph.edges.resize(index.functions.size());
+  graph.reverse.resize(index.functions.size());
+
+  // Name -> candidate definition indices, in definition order.
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  std::vector<std::vector<std::string>> qualified_parts;
+  qualified_parts.reserve(index.functions.size());
+  for (std::size_t f = 0; f < index.functions.size(); ++f) {
+    by_name[index.functions[f].name].push_back(f);
+    qualified_parts.push_back(
+        split_components(index.functions[f].qualified));
+  }
+
+  for (std::size_t c = 0; c < index.calls.size(); ++c) {
+    const CallSite& call = index.calls[c];
+    const auto it = by_name.find(call.callee_name);
+    if (it == by_name.end()) continue;
+    const std::vector<std::string> written =
+        split_components(call.callee_text);
+    const bool caller_in_src =
+        starts_with(index.functions[call.caller].file, "src/");
+
+    std::vector<std::size_t> candidates;
+    if (written.size() > 1) {
+      for (const std::size_t f : it->second) {
+        if (suffix_matches(qualified_parts[f], written)) {
+          candidates.push_back(f);
+        }
+      }
+    }
+    if (candidates.empty()) candidates = it->second;
+
+    for (const std::size_t f : candidates) {
+      if (caller_in_src && !starts_with(index.functions[f].file, "src/")) {
+        continue;  // The library never links test/tool/bench code.
+      }
+      graph.edges[call.caller].push_back({f, c});
+      graph.reverse[f].push_back({call.caller, c});
+    }
+  }
+  return graph;
+}
+
+}  // namespace tagwatch::lint

@@ -1,0 +1,41 @@
+// Cross-file call graph over the symbol index.
+//
+// Resolution is by name, deliberately over-approximate:
+//
+//   - an unqualified or member call `f(...)` resolves to *every*
+//     definition named `f` — overloads merge, and virtual dispatch
+//     resolves to every same-named override (safe for taint, which only
+//     needs may-reach);
+//   - a qualified call `util::f(...)` keeps only candidates whose
+//     qualified name ends with the written components, falling back to
+//     the name-only set when nothing matches (alias namespaces);
+//   - a caller inside `src/` never resolves into `tests/`, `tools/`,
+//     `bench/`, or `examples/` — the library does not link against
+//     them, so such an edge cannot exist at runtime and would only
+//     manufacture false taint chains.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/symbol_index.hpp"
+
+namespace tagwatch::lint {
+
+/// One resolved caller→callee edge.
+struct CallEdge {
+  std::size_t callee = 0;  ///< Index into SymbolIndex::functions.
+  std::size_t call = 0;    ///< Index into SymbolIndex::calls (the site).
+};
+
+struct CallGraph {
+  /// edges[f] = resolved outgoing edges of function f, in body order
+  /// (then candidate order, which follows definition order).
+  std::vector<std::vector<CallEdge>> edges;
+  /// reverse[f] = incoming edges of f, as (caller, call-site) pairs.
+  std::vector<std::vector<CallEdge>> reverse;  ///< callee field = caller.
+};
+
+CallGraph build_call_graph(const SymbolIndex& index);
+
+}  // namespace tagwatch::lint

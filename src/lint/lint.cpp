@@ -1,11 +1,16 @@
 #include "lint/lint.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cctype>
 #include <map>
 #include <set>
 #include <string_view>
+
+#include "lint/call_graph.hpp"
+#include "lint/lock_graph.hpp"
+#include "lint/nondet.hpp"
+#include "lint/symbol_index.hpp"
+#include "lint/taint.hpp"
 
 namespace tagwatch::lint {
 
@@ -18,10 +23,6 @@ bool is_ident_char(char c) {
 bool ends_with(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.substr(0, prefix.size()) == prefix;
 }
 
 /// File stem: "src/core/pipeline.cpp" -> "pipeline".
@@ -83,6 +84,9 @@ struct AllowIndex {
   std::map<std::size_t, std::set<std::string>> by_line;
   std::size_t annotations = 0;
 
+  // rule -> how many annotations name it (feeds the per-rule budget).
+  std::map<std::string, std::size_t> annotations_by_rule;
+
   explicit AllowIndex(const std::string& raw) {
     std::size_t pos = 0;
     while ((pos = raw.find(kAllowMarker, pos)) != std::string::npos) {
@@ -95,6 +99,7 @@ struct AllowIndex {
         const auto& names = RuleEngine::rule_names();
         if (std::find(names.begin(), names.end(), rule) != names.end()) {
           ++annotations;
+          ++annotations_by_rule[rule];
           const std::size_t line = line_of(raw, pos);
           by_line[line].insert(rule);
           by_line[line + 1].insert(rule);  // Annotation-above style.
@@ -112,90 +117,12 @@ struct AllowIndex {
 
 // ------------------------------------------------------------- rule D
 
-constexpr std::array<std::string_view, 5> kJournaledDirs = {
-    "src/core/", "src/sim/", "src/llrp/", "src/gen2/", "src/rf/"};
-
-/// Wall-clock / entropy / environment identifiers that must never appear
-/// in a journaled path.  Split into "any use" and "only as a call".
-constexpr std::array<std::string_view, 4> kForbiddenIdentifiers = {
-    "random_device", "system_clock", "steady_clock",
-    "high_resolution_clock"};
-constexpr std::array<std::string_view, 8> kForbiddenCalls = {
-    "rand", "srand", "time", "clock", "getenv", "gettimeofday", "localtime",
-    "gmtime"};
-
-bool in_journaled_dir(std::string_view path) {
-  for (const std::string_view dir : kJournaledDirs) {
-    if (starts_with(path, dir)) return true;
-  }
-  return false;
-}
-
 void check_determinism(const SourceFile& file, const std::string& scrubbed,
                        std::vector<Finding>& out) {
   if (!in_journaled_dir(file.path)) return;
-  for (const std::string_view ident : kForbiddenIdentifiers) {
-    std::size_t pos = 0;
-    while ((pos = find_identifier(scrubbed, ident, pos)) !=
-           std::string::npos) {
-      out.push_back({file.path, line_of(scrubbed, pos), "determinism",
-                     "non-deterministic identifier '" + std::string(ident) +
-                         "' in journaled path"});
-      pos += ident.size();
-    }
-  }
-  for (const std::string_view call : kForbiddenCalls) {
-    std::size_t pos = 0;
-    while ((pos = find_identifier(scrubbed, call, pos)) !=
-           std::string::npos) {
-      const std::size_t after = skip_ws(scrubbed, pos + call.size());
-      if (after < scrubbed.size() && scrubbed[after] == '(') {
-        out.push_back({file.path, line_of(scrubbed, pos), "determinism",
-                       "call to '" + std::string(call) +
-                           "()' in journaled path"});
-      }
-      pos += call.size();
-    }
-  }
-  // Unseeded std::mt19937 / std::mt19937_64: a declaration with no
-  // initializer (or an empty one) seeds from the default constant, which
-  // hides the seed from the journal.
-  for (const std::string_view engine : {std::string_view("mt19937"),
-                                        std::string_view("mt19937_64")}) {
-    std::size_t pos = 0;
-    while ((pos = find_identifier(scrubbed, engine, pos)) !=
-           std::string::npos) {
-      const std::size_t report_at = pos;
-      std::size_t cur = skip_ws(scrubbed, pos + engine.size());
-      pos += engine.size();
-      // Expect a declared variable name next; anything else (template
-      // argument, reference parameter, qualified use) is not a decl.
-      if (cur >= scrubbed.size() || !is_ident_char(scrubbed[cur]) ||
-          std::isdigit(static_cast<unsigned char>(scrubbed[cur])) != 0) {
-        continue;
-      }
-      while (cur < scrubbed.size() && is_ident_char(scrubbed[cur])) ++cur;
-      cur = skip_ws(scrubbed, cur);
-      bool unseeded = false;
-      if (cur < scrubbed.size() && scrubbed[cur] == ';') {
-        unseeded = true;
-      } else if (cur < scrubbed.size() &&
-                 (scrubbed[cur] == '(' || scrubbed[cur] == '{')) {
-        const char close = scrubbed[cur] == '(' ? ')' : '}';
-        const std::size_t end =
-            match_bracket(scrubbed, cur, scrubbed[cur], close);
-        if (end != std::string::npos &&
-            skip_ws(scrubbed, cur + 1) == end - 1) {
-          unseeded = true;  // Empty initializer: default seed.
-        }
-      }
-      if (unseeded) {
-        out.push_back({file.path, line_of(scrubbed, report_at),
-                       "determinism",
-                       "unseeded std::" + std::string(engine) +
-                           " in journaled path (pass an explicit seed)"});
-      }
-    }
+  for (const NondetUse& use : scan_nondeterminism(scrubbed)) {
+    out.push_back({file.path, line_of(scrubbed, use.pos), "determinism",
+                   use.message + " in journaled path"});
   }
 }
 
@@ -671,11 +598,41 @@ std::size_t line_of(const std::string& text, std::size_t pos) {
 
 // --------------------------------------------------------------- engine
 
+const std::vector<RuleInfo>& RuleEngine::rules() {
+  static const std::vector<RuleInfo> catalog = {
+      {"determinism",
+       "no wall-clock/entropy/environment reads directly in journaled "
+       "directories (src/core, src/sim, src/llrp, src/gen2, src/rf)"},
+      {"header-pragma-once", "every header opens with #pragma once"},
+      {"header-using-namespace", "no 'using namespace' in headers"},
+      {"include-order",
+       "own header first, then <system>, then \"project\" includes"},
+      {"pipeline-reentrancy",
+       "ReadingSink hooks never call execute() (re-enters the transport "
+       "mid-cycle)"},
+      {"journal-discipline",
+       "ReaderErrorKind enumerators and journal record tags stay in sync "
+       "across serializer, parser, health digest, and fault injector"},
+      {"threading-discipline",
+       "raw threads only inside util::TaskPool; mutexes held via RAII "
+       "guards, never explicit lock()/unlock()"},
+      {"determinism-taint",
+       "no journaled function reaches a wall-clock/entropy read through "
+       "any call chain (interprocedural; util::WallClock is the sanctioned "
+       "seam)"},
+      {"lock-order",
+       "mutex acquisition order is cycle-free and no lock is held across "
+       "execute() or pipeline sink dispatch (interprocedural)"},
+  };
+  return catalog;
+}
+
 const std::vector<std::string>& RuleEngine::rule_names() {
-  static const std::vector<std::string> names = {
-      "determinism",          "header-pragma-once",  "header-using-namespace",
-      "include-order",        "pipeline-reentrancy", "journal-discipline",
-      "threading-discipline"};
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const RuleInfo& rule : rules()) out.push_back(rule.name);
+    return out;
+  }();
   return names;
 }
 
@@ -693,12 +650,23 @@ LintReport RuleEngine::run(const std::vector<SourceFile>& files) const {
   }
   check_journal_discipline(files, raw_findings);
 
+  // Whole-tree call-graph rules: index once, share between analyses.
+  const SymbolIndex index = build_symbol_index(files);
+  const CallGraph graph = build_call_graph(index);
+  check_determinism_taint(index, graph, raw_findings);
+  check_lock_graph(index, graph, raw_findings);
+
   // Apply allow() suppressions and count annotations per file.
   std::map<std::string, AllowIndex> allows;
   for (const SourceFile& file : files) {
     const auto [it, inserted] =
         allows.try_emplace(file.path, AllowIndex(file.content));
-    if (inserted) report.allow_annotations += it->second.annotations;
+    if (inserted) {
+      report.allow_annotations += it->second.annotations;
+      for (const auto& [rule, count] : it->second.annotations_by_rule) {
+        report.allow_annotations_by_rule[rule] += count;
+      }
+    }
   }
   for (Finding& f : raw_findings) {
     const auto it = allows.find(f.file);

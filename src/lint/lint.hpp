@@ -25,11 +25,25 @@
 //                              detach() only inside util::TaskPool's own
 //                              files; mutexes held via RAII guards, never
 //                              explicit lock()/unlock()
+//   determinism-taint      (G) whole-tree call-graph rule: a journaled
+//                              function must not *reach* a wall-clock/
+//                              entropy read through any chain of calls
+//                              (src/util wrappers can no longer launder
+//                              nondeterminism in); the WallClock seam is
+//                              the one sanctioned boundary
+//   lock-order             (G) whole-tree call-graph rule: RAII mutex
+//                              acquisitions must be cycle-free in
+//                              acquisition order, and no lock may be
+//                              held across execute()/sink dispatch
+//
+// The (G) rules run on a heuristic symbol index + call graph built over
+// the full file set (symbol_index.hpp / call_graph.hpp); their model and
+// blind spots are documented in docs/STATIC_ANALYSIS.md.
 //
 // Escape hatch: a finding on line N is suppressed when line N or N-1
 // carries `// tagwatch-lint: allow(<rule>)` — meant to be rare, justified
-// in an adjacent comment, and budgeted (the self-check test caps the tree
-// at 3 annotations).
+// in an adjacent comment, and budgeted *per rule* (the self-check test
+// pins an exact budget table; unlisted rules get zero).
 //
 // The engine is deliberately dependency-free (std only) so the lint tool
 // builds in seconds on a bare CI runner, and it operates on in-memory
@@ -37,6 +51,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -65,17 +80,32 @@ struct LintReport {
   /// allow() annotations present in the scanned files (used or not) —
   /// the budget the self-check test enforces.
   std::size_t allow_annotations = 0;
+  /// The same count broken down by rule name — the self-check test
+  /// enforces a per-rule budget table, so adding a new rule can never
+  /// silently dilute an existing rule's budget.
+  std::map<std::string, std::size_t> allow_annotations_by_rule;
+};
+
+/// One rule's identity and one-line summary (shown by --list-rules and
+/// embedded in the SARIF driver block).
+struct RuleInfo {
+  std::string name;
+  std::string summary;
 };
 
 /// The rule engine.  Stateless between runs.
 class RuleEngine {
  public:
   /// Runs every rule over `files` (per-file rules on each, cross-file
-  /// rules on the set).  Findings are ordered by (file, line, rule).
+  /// and call-graph rules on the set).  Findings are ordered by
+  /// (file, line, rule).
   LintReport run(const std::vector<SourceFile>& files) const;
 
   /// Stable rule-name list (what allow() accepts).
   static const std::vector<std::string>& rule_names();
+
+  /// Rule catalog with one-line summaries, same order as rule_names().
+  static const std::vector<RuleInfo>& rules();
 };
 
 // ------------------------------------------------------------ utilities

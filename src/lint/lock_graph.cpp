@@ -1,0 +1,451 @@
+#include "lint/lock_graph.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace tagwatch::lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t find_identifier(const std::string& text, std::string_view name,
+                            std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    const std::size_t end = pos + name.size();
+    const bool right_ok = end >= text.size() || !is_ident_char(text[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_ws(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// One RAII guard acquisition.
+struct Acquisition {
+  std::string mutex;          ///< Normalized identity.
+  std::size_t pos = 0;        ///< Offset in the scrubbed file.
+  std::size_t scope_end = 0;  ///< Offset of the enclosing block's '}'.
+  std::size_t line = 0;
+  std::size_t group = 0;  ///< Acquisitions of one scoped_lock share it.
+};
+
+/// Offset of the '}' closing the innermost block containing `pos`
+/// within [begin, end) of `text`; `end` when unbalanced.
+std::size_t scope_close(const std::string& text, std::size_t begin,
+                        std::size_t end, std::size_t pos) {
+  std::vector<std::size_t> stack;
+  std::size_t target = kNpos;
+  bool target_set = false;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!target_set && i >= pos) {
+      target = stack.empty() ? kNpos : stack.back();
+      target_set = true;
+      if (target == kNpos) return end;
+    }
+    if (text[i] == '{') {
+      stack.push_back(i);
+    } else if (text[i] == '}') {
+      if (!stack.empty()) {
+        const std::size_t open = stack.back();
+        stack.pop_back();
+        if (target_set && open == target) return i;
+      }
+    }
+  }
+  return end;
+}
+
+/// Splits `args` ("a_, b_, std::adopt_lock") at top-level commas.
+std::vector<std::string> split_args(const std::string& args) {
+  std::vector<std::string> parts;
+  std::size_t depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    if (c == '(' || c == '{' || c == '<' || c == '[') ++depth;
+    if ((c == ')' || c == '}' || c == '>' || c == ']') && depth > 0) --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(args.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  parts.push_back(args.substr(start));
+  return parts;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+bool is_simple_identifier(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!is_ident_char(c)) return false;
+  }
+  return std::isdigit(static_cast<unsigned char>(s[0])) == 0;
+}
+
+/// Normalized mutex identity for a guard argument: whitespace stripped,
+/// leading address-of removed, bare member identifiers qualified with
+/// the enclosing class so `A::mutex_` and `B::mutex_` stay distinct.
+std::string mutex_identity(const std::string& raw_arg,
+                           const std::string& owner) {
+  std::string arg;
+  for (const char c : trim(raw_arg)) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) arg += c;
+  }
+  while (!arg.empty() && (arg[0] == '&' || arg[0] == '*')) arg.erase(0, 1);
+  if (arg.rfind("this->", 0) == 0) arg.erase(0, 6);
+  if (!owner.empty() && is_simple_identifier(arg)) {
+    return owner + "::" + arg;
+  }
+  return arg;
+}
+
+constexpr std::string_view kGuardTypes[] = {"lock_guard", "scoped_lock",
+                                            "unique_lock"};
+
+/// Pipeline / transport entry points that must never run under a lock.
+bool is_dispatch_name(const std::string& name) {
+  return name == "execute" || name == "dispatch" ||
+         name == "dispatch_batch" || name == "end_cycle" ||
+         name == "on_reading" || name == "on_cycle_end";
+}
+
+/// Guard acquisitions in `f`'s body, positions absolute in the scrubbed
+/// file.
+std::vector<Acquisition> acquisitions_of(const SymbolIndex& index,
+                                         std::size_t f) {
+  const FunctionDef& def = index.functions[f];
+  const std::string& text = index.scrubbed[def.file_index];
+  std::vector<Acquisition> acquisitions;
+  std::size_t group = 0;
+  for (const std::string_view guard : kGuardTypes) {
+    std::size_t pos = def.body_begin;
+    while ((pos = find_identifier(text, guard, pos)) != std::string::npos &&
+           pos < def.body_end) {
+      const std::size_t at = pos;
+      pos += guard.size();
+      std::size_t cur = skip_ws(text, pos);
+      if (cur < text.size() && text[cur] == '<') {
+        // Template argument list; skip to the matching '>'.
+        std::size_t depth = 0;
+        while (cur < text.size() && cur < def.body_end) {
+          if (text[cur] == '<') ++depth;
+          if (text[cur] == '>' && --depth == 0) {
+            ++cur;
+            break;
+          }
+          if (text[cur] == ';' || text[cur] == '{') break;
+          ++cur;
+        }
+        cur = skip_ws(text, cur);
+      }
+      // Variable name.
+      if (cur >= text.size() || !is_ident_char(text[cur])) continue;
+      while (cur < text.size() && is_ident_char(text[cur])) ++cur;
+      cur = skip_ws(text, cur);
+      if (cur >= text.size() || (text[cur] != '(' && text[cur] != '{')) {
+        continue;
+      }
+      const char open = text[cur];
+      const char close = open == '(' ? ')' : '}';
+      std::size_t depth = 0;
+      std::size_t arg_end = cur;
+      while (arg_end < text.size()) {
+        if (text[arg_end] == open) ++depth;
+        if (text[arg_end] == close && --depth == 0) break;
+        ++arg_end;
+      }
+      if (arg_end >= text.size()) continue;
+      const std::string args = text.substr(cur + 1, arg_end - cur - 1);
+      if (args.find("defer_lock") != std::string::npos) continue;
+      ++group;
+      for (const std::string& raw : split_args(args)) {
+        const std::string a = trim(raw);
+        if (a.empty() || a.find("adopt_lock") != std::string::npos ||
+            a.find("try_to_lock") != std::string::npos) {
+          continue;
+        }
+        Acquisition acq;
+        acq.mutex = mutex_identity(a, def.owner);
+        if (acq.mutex.empty()) continue;
+        acq.pos = at;
+        acq.scope_end =
+            scope_close(text, def.body_begin, def.body_end, at);
+        acq.line = line_of(text, at);
+        acq.group = group;
+        acquisitions.push_back(std::move(acq));
+      }
+    }
+  }
+  std::sort(acquisitions.begin(), acquisitions.end(),
+            [](const Acquisition& a, const Acquisition& b) {
+              return a.pos != b.pos ? a.pos < b.pos : a.mutex < b.mutex;
+            });
+  return acquisitions;
+}
+
+struct Witness {
+  std::string file;
+  std::size_t line = 0;
+  std::string note;
+};
+
+}  // namespace
+
+void check_lock_graph(const SymbolIndex& index, const CallGraph& graph,
+                      std::vector<Finding>& out) {
+  const std::size_t n = index.functions.size();
+  std::vector<std::vector<Acquisition>> acquisitions(n);
+  bool any = false;
+  for (std::size_t f = 0; f < n; ++f) {
+    acquisitions[f] = acquisitions_of(index, f);
+    any = any || !acquisitions[f].empty();
+  }
+  if (!any) return;
+
+  // Transitive mutex sets: every mutex a call into `f` may acquire.
+  std::vector<std::set<std::string>> trans(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const Acquisition& a : acquisitions[f]) trans[f].insert(a.mutex);
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      for (const CallEdge& e : graph.edges[f]) {
+        for (const std::string& m : trans[e.callee]) {
+          if (trans[f].insert(m).second) changed = true;
+        }
+      }
+    }
+  }
+
+  // Does a call into `f` reach transport execute() / sink dispatch?
+  std::vector<bool> dispatches(n, false);
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const std::size_t c : index.calls_by_function[f]) {
+      if (is_dispatch_name(index.calls[c].callee_name)) {
+        dispatches[f] = true;
+        break;
+      }
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (dispatches[f]) continue;
+      for (const CallEdge& e : graph.edges[f]) {
+        if (dispatches[e.callee]) {
+          dispatches[f] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Build the mutex-order graph and flag locks held across dispatch.
+  std::map<std::string, std::map<std::string, Witness>> order;
+  auto add_edge = [&order](const std::string& from, const std::string& to,
+                           Witness witness) {
+    order[from].try_emplace(to, std::move(witness));
+    order.try_emplace(to);  // Ensure every node exists.
+  };
+  for (std::size_t f = 0; f < n; ++f) {
+    const FunctionDef& def = index.functions[f];
+    for (const Acquisition& held : acquisitions[f]) {
+      // Later direct acquisitions inside the guard's scope.
+      for (const Acquisition& next : acquisitions[f]) {
+        if (next.group == held.group) continue;
+        if (next.pos <= held.pos || next.pos >= held.scope_end) continue;
+        add_edge(held.mutex, next.mutex,
+                 {def.file, next.line,
+                  "'" + next.mutex + "' acquired while holding '" +
+                      held.mutex + "' in '" + def.qualified + "'"});
+      }
+      // Calls inside the guard's scope.
+      for (const std::size_t c : index.calls_by_function[f]) {
+        const CallSite& call = index.calls[c];
+        if (call.pos <= held.pos || call.pos >= held.scope_end) continue;
+        if (is_dispatch_name(call.callee_name)) {
+          out.push_back(
+              {def.file, call.line, "lock-order",
+               "mutex '" + held.mutex + "' held across '" +
+                   call.callee_name + "()' in '" + def.qualified +
+                   "'; transport execute() and sink dispatch must run "
+                   "unlocked"});
+        }
+      }
+      for (const CallEdge& e : graph.edges[f]) {
+        const CallSite& call = index.calls[e.call];
+        if (call.pos <= held.pos || call.pos >= held.scope_end) continue;
+        const FunctionDef& callee = index.functions[e.callee];
+        if (!is_dispatch_name(call.callee_name) && dispatches[e.callee]) {
+          out.push_back(
+              {def.file, call.line, "lock-order",
+               "mutex '" + held.mutex + "' held across call to '" +
+                   callee.qualified +
+                   "', which reaches transport execute()/sink dispatch"});
+        }
+        for (const std::string& m : trans[e.callee]) {
+          add_edge(held.mutex, m,
+                   {def.file, call.line,
+                    "call to '" + callee.qualified + "' while holding '" +
+                        held.mutex + "' in '" + def.qualified +
+                        "' acquires '" + m + "'"});
+        }
+      }
+    }
+  }
+
+  // Self-loops: the same mutex re-acquired while held — immediate
+  // deadlock for non-recursive std mutexes.
+  for (const auto& [from, targets] : order) {
+    const auto self = targets.find(from);
+    if (self != targets.end()) {
+      out.push_back({self->second.file, self->second.line, "lock-order",
+                     "mutex '" + from +
+                         "' re-acquired while already held (self-deadlock): " +
+                         self->second.note});
+    }
+  }
+
+  // Cycles between distinct mutexes: strongly connected components of
+  // the order graph.  One finding per component, anchored at the
+  // smallest-named member's outgoing witness, listing a concrete cycle.
+  std::vector<std::string> nodes;
+  nodes.reserve(order.size());
+  for (const auto& [name, _] : order) nodes.push_back(name);
+  std::map<std::string, std::size_t> node_id;
+  for (std::size_t i = 0; i < nodes.size(); ++i) node_id[nodes[i]] = i;
+
+  // Iterative Tarjan SCC.
+  const std::size_t nn = nodes.size();
+  std::vector<std::size_t> idx(nn, kNpos);
+  std::vector<std::size_t> low(nn, 0);
+  std::vector<bool> on_stack(nn, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> sccs;
+  std::size_t counter = 0;
+  struct Frame {
+    std::size_t v;
+    std::size_t child = 0;
+  };
+  for (std::size_t start = 0; start < nn; ++start) {
+    if (idx[start] != kNpos) continue;
+    std::vector<Frame> frames = {{start, 0}};
+    idx[start] = low[start] = counter++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      const auto& targets = order[nodes[fr.v]];
+      if (fr.child < targets.size()) {
+        auto it = targets.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(fr.child));
+        ++fr.child;
+        const std::size_t w = node_id[it->first];
+        if (idx[w] == kNpos) {
+          idx[w] = low[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[fr.v] = std::min(low[fr.v], idx[w]);
+        }
+      } else {
+        if (low[fr.v] == idx[fr.v]) {
+          std::vector<std::size_t> scc;
+          for (;;) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == fr.v) break;
+          }
+          if (scc.size() > 1) sccs.push_back(std::move(scc));
+        }
+        const std::size_t v = fr.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+  }
+
+  for (std::vector<std::size_t>& scc : sccs) {
+    std::sort(scc.begin(), scc.end(), [&nodes](std::size_t a, std::size_t b) {
+      return nodes[a] < nodes[b];
+    });
+    const std::set<std::size_t> members(scc.begin(), scc.end());
+    // Walk a concrete cycle from the smallest node, always stepping to
+    // the smallest in-component successor not yet visited (falling back
+    // to the start node to close the loop).
+    const std::size_t start_node = scc[0];
+    std::vector<std::size_t> path = {start_node};
+    std::set<std::size_t> visited = {start_node};
+    std::string detail;
+    std::size_t cur = start_node;
+    for (;;) {
+      const auto& targets = order[nodes[cur]];
+      std::size_t next = kNpos;
+      for (const auto& [to, w] : targets) {
+        const std::size_t t = node_id[to];
+        if (members.count(t) == 0) continue;
+        if (t == start_node && path.size() > 1) {
+          next = t;
+          break;
+        }
+        if (visited.count(t) == 0 && (next == kNpos || to < nodes[next])) {
+          next = t;
+        }
+      }
+      if (next == kNpos) break;  // Defensive; an SCC always has a cycle.
+      const Witness& w = order[nodes[cur]].at(nodes[next]);
+      if (!detail.empty()) detail += "; ";
+      detail += w.note + " (" + w.file + ":" + std::to_string(w.line) + ")";
+      path.push_back(next);
+      if (next == start_node) break;
+      visited.insert(next);
+      cur = next;
+    }
+    if (path.size() < 2) continue;  // Defensive; cannot happen in an SCC.
+    std::string cycle;
+    for (const std::size_t v : path) {
+      if (!cycle.empty()) cycle += " -> ";
+      cycle += "'" + nodes[v] + "'";
+    }
+    const Witness& anchor = order[nodes[path[0]]].at(nodes[path[1]]);
+    out.push_back({anchor.file, anchor.line, "lock-order",
+                   "lock-order cycle " + cycle +
+                       " (potential deadlock): " + detail});
+  }
+}
+
+}  // namespace tagwatch::lint

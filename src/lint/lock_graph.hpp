@@ -1,0 +1,42 @@
+// Lock-acquisition-order analysis over the call graph.
+//
+// The threading-discipline rule already forces every mutex acquisition
+// through a RAII guard (std::lock_guard / std::scoped_lock /
+// std::unique_lock), which makes acquisitions statically visible: this
+// analysis records, per function, which mutexes its guards hold and
+// what runs inside each guard's scope, then builds a mutex-order graph
+//
+//   A → B  ⇔  somewhere, B is acquired (directly or through a callee)
+//             while A is held
+//
+// and reports two hazard classes under rule `lock-order`:
+//
+//   1. acquisition-order cycles (AB/BA and longer) — potential deadlock
+//      the moment two threads interleave;
+//   2. a lock held across `execute()` or pipeline sink dispatch
+//      (`dispatch`/`dispatch_batch`/`end_cycle`/`on_reading`/
+//      `on_cycle_end`) — the transport and sinks run arbitrary code and
+//      re-enter accounting, so holding a mutex across them invites both
+//      deadlock and priority inversion on the hot path.
+//
+// Mutex identity is the guard argument's token text, qualified by the
+// enclosing class for bare member names (`FleetController::mutex_`), so
+// two classes' `mutex_` members stay distinct.  `std::scoped_lock`'s
+// own argument list is deadlock-free by construction and contributes no
+// intra-set edges.  Guards constructed with `std::defer_lock` are not
+// acquisitions.
+#pragma once
+
+#include <vector>
+
+#include "lint/call_graph.hpp"
+#include "lint/lint.hpp"
+#include "lint/symbol_index.hpp"
+
+namespace tagwatch::lint {
+
+/// Appends `lock-order` findings over the indexed tree.
+void check_lock_graph(const SymbolIndex& index, const CallGraph& graph,
+                      std::vector<Finding>& out);
+
+}  // namespace tagwatch::lint

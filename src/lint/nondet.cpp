@@ -1,0 +1,149 @@
+#include "lint/nondet.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace tagwatch::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+/// Position of the first occurrence of identifier `name` at or after
+/// `from`, with identifier boundaries on both sides; npos if none.
+std::size_t find_identifier(const std::string& text, std::string_view name,
+                            std::size_t from) {
+  std::size_t pos = from;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    const std::size_t end = pos + name.size();
+    const bool right_ok = end >= text.size() || !is_ident_char(text[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_ws(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Given `pos` at an opening bracket, returns the position just past its
+/// matching close, or npos when unbalanced.
+std::size_t match_bracket(const std::string& text, std::size_t pos, char open,
+                          char close) {
+  std::size_t depth = 0;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == open) {
+      ++depth;
+    } else if (text[i] == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+constexpr std::array<std::string_view, 5> kJournaledDirs = {
+    "src/core/", "src/sim/", "src/llrp/", "src/gen2/", "src/rf/"};
+
+/// Wall-clock / entropy / environment identifiers that must never appear
+/// in a journaled path.  Split into "any use" and "only as a call".
+constexpr std::array<std::string_view, 4> kForbiddenIdentifiers = {
+    "random_device", "system_clock", "steady_clock",
+    "high_resolution_clock"};
+constexpr std::array<std::string_view, 8> kForbiddenCalls = {
+    "rand", "srand", "time", "clock", "getenv", "gettimeofday", "localtime",
+    "gmtime"};
+
+}  // namespace
+
+bool in_journaled_dir(std::string_view path) {
+  for (const std::string_view dir : kJournaledDirs) {
+    if (starts_with(path, dir)) return true;
+  }
+  return false;
+}
+
+bool is_sanctioned_clock_seam(std::string_view path) {
+  return path.find("src/util/wall_clock.") != std::string_view::npos;
+}
+
+std::vector<NondetUse> scan_nondeterminism(const std::string& scrubbed) {
+  std::vector<NondetUse> uses;
+  for (const std::string_view ident : kForbiddenIdentifiers) {
+    std::size_t pos = 0;
+    while ((pos = find_identifier(scrubbed, ident, pos)) !=
+           std::string::npos) {
+      uses.push_back({pos, "non-deterministic identifier '" +
+                               std::string(ident) + "'"});
+      pos += ident.size();
+    }
+  }
+  for (const std::string_view call : kForbiddenCalls) {
+    std::size_t pos = 0;
+    while ((pos = find_identifier(scrubbed, call, pos)) !=
+           std::string::npos) {
+      const std::size_t after = skip_ws(scrubbed, pos + call.size());
+      if (after < scrubbed.size() && scrubbed[after] == '(') {
+        uses.push_back({pos, "call to '" + std::string(call) + "()'"});
+      }
+      pos += call.size();
+    }
+  }
+  // Unseeded std::mt19937 / std::mt19937_64: a declaration with no
+  // initializer (or an empty one) seeds from the default constant, which
+  // hides the seed from the journal.
+  for (const std::string_view engine : {std::string_view("mt19937"),
+                                        std::string_view("mt19937_64")}) {
+    std::size_t pos = 0;
+    while ((pos = find_identifier(scrubbed, engine, pos)) !=
+           std::string::npos) {
+      const std::size_t report_at = pos;
+      std::size_t cur = skip_ws(scrubbed, pos + engine.size());
+      pos += engine.size();
+      // Expect a declared variable name next; anything else (template
+      // argument, reference parameter, qualified use) is not a decl.
+      if (cur >= scrubbed.size() || !is_ident_char(scrubbed[cur]) ||
+          std::isdigit(static_cast<unsigned char>(scrubbed[cur])) != 0) {
+        continue;
+      }
+      while (cur < scrubbed.size() && is_ident_char(scrubbed[cur])) ++cur;
+      cur = skip_ws(scrubbed, cur);
+      bool unseeded = false;
+      if (cur < scrubbed.size() && scrubbed[cur] == ';') {
+        unseeded = true;
+      } else if (cur < scrubbed.size() &&
+                 (scrubbed[cur] == '(' || scrubbed[cur] == '{')) {
+        const char close = scrubbed[cur] == '(' ? ')' : '}';
+        const std::size_t end =
+            match_bracket(scrubbed, cur, scrubbed[cur], close);
+        if (end != std::string::npos &&
+            skip_ws(scrubbed, cur + 1) == end - 1) {
+          unseeded = true;  // Empty initializer: default seed.
+        }
+      }
+      if (unseeded) {
+        uses.push_back({report_at, "unseeded std::" + std::string(engine) +
+                                       " (pass an explicit seed)"});
+      }
+    }
+  }
+  std::sort(uses.begin(), uses.end(),
+            [](const NondetUse& a, const NondetUse& b) {
+              return a.pos != b.pos ? a.pos < b.pos : a.message < b.message;
+            });
+  return uses;
+}
+
+}  // namespace tagwatch::lint

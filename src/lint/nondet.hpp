@@ -1,0 +1,45 @@
+// The nondeterminism vocabulary, shared by two rules.
+//
+// Rule `determinism` (lint.cpp) flags these tokens when they appear
+// *directly* in a journaled directory; rule `determinism-taint`
+// (taint.cpp) marks any function body containing one as a taint *source*
+// and chases it through the call graph, so a `src/util` wrapper can no
+// longer launder a wall-clock read into `src/core`.  One table feeds
+// both so the two rules can never drift apart on what "nondeterministic"
+// means.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tagwatch::lint {
+
+/// One use of a wall-clock / entropy / environment primitive.
+struct NondetUse {
+  std::size_t pos = 0;  ///< Byte offset into the scanned text.
+  /// Human-readable description, e.g. "non-deterministic identifier
+  /// 'system_clock'" or "call to 'getenv()'".  Rules append their own
+  /// context ("in journaled path", the taint chain, ...).
+  std::string message;
+};
+
+/// Scans `scrubbed` (comments and strings already blanked) for every
+/// forbidden clock/entropy/environment use: the chrono clock and
+/// random_device identifiers anywhere, the C library calls (`time(`,
+/// `rand(`, `getenv(`, ...) in call position, and unseeded
+/// std::mt19937/mt19937_64 declarations.  Results are ordered by
+/// position.
+std::vector<NondetUse> scan_nondeterminism(const std::string& scrubbed);
+
+/// True when `path` (repo-relative, forward slashes) lies in a journaled
+/// directory — the record→replay surface the determinism rules protect.
+bool in_journaled_dir(std::string_view path);
+
+/// True for the sanctioned wall-clock seam (src/util/wall_clock.*): the
+/// one place allowed to read a host clock, reachable from journaled code
+/// only through the injectable util::WallClock interface.
+bool is_sanctioned_clock_seam(std::string_view path);
+
+}  // namespace tagwatch::lint

@@ -1,0 +1,88 @@
+#include "lint/sarif.hpp"
+
+#include <cstdio>
+
+namespace tagwatch::lint {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"tagwatch_lint\",\n"
+      "          \"informationUri\": "
+      "\"docs/STATIC_ANALYSIS.md\",\n"
+      "          \"rules\": [\n";
+  const std::vector<RuleInfo>& rules = RuleEngine::rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": \"" + json_escape(rules[i].name) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(rules[i].summary) + "\"}}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const std::size_t line = f.line == 0 ? 1 : f.line;
+    out += "        {\"ruleId\": \"" + json_escape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           json_escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.file) + "\"}, \"region\": {\"startLine\": " +
+           std::to_string(line) + "}}}]}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace tagwatch::lint

@@ -1,0 +1,27 @@
+// SARIF 2.1.0 emission.
+//
+// CI uploads the linter's findings to GitHub code scanning
+// (github/codeql-action/upload-sarif), which annotates them inline on
+// the PR diff.  The writer is a few dozen lines of hand-rolled JSON —
+// SARIF's required surface for a single-tool, single-run log is small
+// and std-only beats a JSON dependency for a tool whose whole point is
+// building in seconds on a bare runner.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace tagwatch::lint {
+
+/// Serializes `findings` as a SARIF 2.1.0 log.  The driver block lists
+/// every rule of `RuleEngine::rules()` (so code scanning can show rule
+/// help even for clean runs); each result carries ruleId, level
+/// "error", the message, and a repo-relative artifact location.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+/// JSON string-body escaping (exposed for tests).
+std::string json_escape(const std::string& text);
+
+}  // namespace tagwatch::lint

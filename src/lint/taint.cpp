@@ -1,0 +1,98 @@
+#include "lint/taint.hpp"
+
+#include <cstddef>
+#include <deque>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "lint/nondet.hpp"
+
+namespace tagwatch::lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+void check_determinism_taint(const SymbolIndex& index, const CallGraph& graph,
+                             std::vector<Finding>& out) {
+  const std::size_t n = index.functions.size();
+  std::vector<bool> sanctioned(n, false);
+  std::vector<bool> source(n, false);
+  std::vector<std::string> source_reason(n);
+
+  for (std::size_t f = 0; f < n; ++f) {
+    const FunctionDef& def = index.functions[f];
+    if (is_sanctioned_clock_seam(def.file)) {
+      sanctioned[f] = true;
+      continue;
+    }
+    const std::string& text = index.scrubbed[def.file_index];
+    const std::string body =
+        text.substr(def.body_begin, def.body_end - def.body_begin);
+    const std::vector<NondetUse> uses = scan_nondeterminism(body);
+    if (!uses.empty()) {
+      source[f] = true;
+      source_reason[f] =
+          uses[0].message + " at " + def.file + ":" +
+          std::to_string(line_of(text, def.body_begin + uses[0].pos));
+    }
+  }
+
+  // Multi-source BFS, callee→caller: dist 0 at every source, each caller
+  // records the callee it reaches taint through (shortest chain).
+  std::vector<std::size_t> dist(n, kNpos);
+  std::vector<std::size_t> next_hop(n, kNpos);
+  std::deque<std::size_t> queue;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (source[f]) {
+      dist[f] = 0;
+      queue.push_back(f);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t f = queue.front();
+    queue.pop_front();
+    for (const CallEdge& in : graph.reverse[f]) {
+      const std::size_t caller = in.callee;  // reverse: field holds caller.
+      if (sanctioned[caller] || dist[caller] != kNpos) continue;
+      dist[caller] = dist[f] + 1;
+      next_hop[caller] = f;
+      queue.push_back(caller);
+    }
+  }
+
+  // A finding per call site where a journaled-directory function hands
+  // control to a tainted function outside the journaled set — the
+  // laundering edge.  Direct in-directory reads are rule `determinism`'s
+  // findings, not ours.
+  std::set<std::pair<std::size_t, std::size_t>> reported;  // (caller, pos)
+  for (std::size_t f = 0; f < n; ++f) {
+    const FunctionDef& def = index.functions[f];
+    if (!in_journaled_dir(def.file) || source[f] || sanctioned[f]) continue;
+    for (const CallEdge& edge : graph.edges[f]) {
+      const std::size_t g = edge.callee;
+      if (sanctioned[g] || (!source[g] && dist[g] == kNpos)) continue;
+      if (in_journaled_dir(index.functions[g].file)) continue;
+      const CallSite& call = index.calls[edge.call];
+      if (!reported.insert({f, call.pos}).second) continue;
+      std::string chain = def.qualified;
+      std::size_t terminal = g;
+      for (std::size_t cur = g; cur != kNpos; cur = next_hop[cur]) {
+        chain += " -> " + index.functions[cur].qualified;
+        terminal = cur;
+        if (source[cur]) break;
+      }
+      out.push_back(
+          {def.file, call.line, "determinism-taint",
+           "journaled-path function '" + def.qualified +
+               "' reaches a non-deterministic source via '" +
+               index.functions[g].qualified + "': " + chain + " (" +
+               source_reason[terminal] + ")"});
+    }
+  }
+}
+
+}  // namespace tagwatch::lint

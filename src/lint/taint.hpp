@@ -1,0 +1,32 @@
+// Interprocedural determinism taint.
+//
+// Rule `determinism` (lint.cpp) only sees *direct* clock/entropy reads
+// inside journaled directories; a one-line wrapper in src/util launders
+// the read straight past it.  This analysis closes that hole: every
+// function whose body touches a nondeterminism primitive (scan_
+// nondeterminism, anywhere in the tree) is a taint *source*; taint
+// propagates callee→caller through the call graph; and a finding is
+// raised at the call site where a journaled-directory function hands
+// control to a tainted function *outside* the journaled set — the exact
+// point where nondeterminism is being laundered in.  The full shortest
+// call chain down to the primitive read is printed in the message.
+//
+// The injectable util::WallClock seam (src/util/wall_clock.*) is the one
+// sanctioned boundary: its functions are neither sources nor
+// propagators, which is precisely what makes it the only legal way for
+// journaled code to observe host time.
+#pragma once
+
+#include <vector>
+
+#include "lint/call_graph.hpp"
+#include "lint/lint.hpp"
+#include "lint/symbol_index.hpp"
+
+namespace tagwatch::lint {
+
+/// Appends `determinism-taint` findings over the indexed tree.
+void check_determinism_taint(const SymbolIndex& index, const CallGraph& graph,
+                             std::vector<Finding>& out);
+
+}  // namespace tagwatch::lint

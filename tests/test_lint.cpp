@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -407,8 +409,18 @@ TEST(LintEngine, RuleNamesAreStable) {
   const std::vector<std::string> expected = {
       "determinism",          "header-pragma-once",  "header-using-namespace",
       "include-order",        "pipeline-reentrancy", "journal-discipline",
-      "threading-discipline"};
+      "threading-discipline", "determinism-taint",   "lock-order"};
   EXPECT_EQ(names, expected);
+}
+
+TEST(LintEngine, RuleCatalogMatchesNamesAndHasSummaries) {
+  const auto& catalog = RuleEngine::rules();
+  const auto& names = RuleEngine::rule_names();
+  ASSERT_EQ(catalog.size(), names.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog[i].name, names[i]);
+    EXPECT_FALSE(catalog[i].summary.empty());
+  }
 }
 
 TEST(LintEngine, FindingsAreSortedByFileLineRule) {
@@ -470,8 +482,20 @@ TEST(LintSelfCheck, RealTreeLintsCleanWithinSuppressionBudget) {
     ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
                   << f.message;
   }
-  // The acceptance budget: at most 3 allow() waivers in the whole tree.
-  EXPECT_LE(r.allow_annotations, 3u);
+  // The per-rule allow() budget: every annotation in the tree (fixture
+  // string literals included — they are the current entries) must be
+  // accounted for here, and a new rule starts at zero.  Growing a budget
+  // means editing this table in the same PR that adds the waiver, which
+  // is exactly the review speed bump the hatch is supposed to have.
+  const std::map<std::string, std::size_t> budget = {
+      {"determinism", 2u},        // LintAllow fixture literals above.
+      {"determinism-taint", 1u},  // LintTaint allow fixture literal.
+      {"include-order", 1u},      // LintAllow wrong-rule fixture literal.
+  };
+  EXPECT_EQ(r.allow_annotations_by_rule, budget);
+  std::size_t total = 0;
+  for (const auto& [rule, count] : budget) total += count;
+  EXPECT_EQ(r.allow_annotations, total);
 }
 
 TEST(LintSelfCheck, JournalTablesArePresentInRealTree) {

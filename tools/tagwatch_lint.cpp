@@ -2,23 +2,40 @@
 //
 // Walks the source tree, runs every rule in src/lint over it, and prints
 // findings in the file:line: [rule] message form editors understand.
-// Exit code 1 on any finding, so CI can gate on it.
+// Exit code 1 on any unreconciled finding, so CI can gate on it.
 //
 // Usage:
-//   tagwatch_lint [--root <dir>] [--list-rules] [subdir...]
+//   tagwatch_lint [--root <dir>] [--rule <name>]... [--sarif <path>]
+//                 [--baseline <path>] [--list-rules] [subdir...]
 //
 // With no subdirs, scans the project default: src tests tools examples
-// bench.  --root sets the tree root (default: the current directory); all
-// reported paths are root-relative.
+// bench.  All reported paths are root-relative with forward slashes.
+//
+//   --root <dir>      tree root.  When omitted, the tool walks up from
+//                     the current directory looking for the repo
+//                     signature (src/lint/lint.hpp + CMakeLists.txt), so
+//                     it works from build/, a subdir, or an editor's cwd.
+//   --rule <name>     keep only this rule's findings (repeatable); the
+//                     full analysis still runs, only reporting filters.
+//   --sarif <path>    also write findings as SARIF 2.1.0 for GitHub
+//                     code scanning ("-" for stdout).
+//   --baseline <path> reconcile findings against a checked-in baseline
+//                     (`rule|file|message` lines): baselined findings
+//                     don't fail the run, but *stale* baseline entries —
+//                     lines no current finding matches — do, so the file
+//                     can only shrink.
+//   --list-rules      print the rule catalog (name + summary) and exit.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint/lint.hpp"
+#include "lint/sarif.hpp"
 
 namespace fs = std::filesystem;
 
@@ -46,25 +63,122 @@ std::string relative_slash_path(const fs::path& file, const fs::path& root) {
   return rel;
 }
 
+/// The repo signature: the directory that holds both the lint engine and
+/// the top-level CMakeLists is the tree the tool should scan.
+bool looks_like_repo_root(const fs::path& dir) {
+  return fs::exists(dir / "src" / "lint" / "lint.hpp") &&
+         fs::exists(dir / "CMakeLists.txt");
+}
+
+/// Walks up from `start` to the filesystem root looking for the repo
+/// signature; empty path when nothing matches.
+fs::path discover_root(const fs::path& start) {
+  fs::path dir = fs::weakly_canonical(start);
+  while (true) {
+    if (looks_like_repo_root(dir)) return dir;
+    const fs::path parent = dir.parent_path();
+    if (parent == dir) return {};
+    dir = parent;
+  }
+}
+
+/// A baseline entry: `rule|file|message`, exactly as printed by
+/// --baseline reconciliation.  Line numbers are deliberately absent so
+/// unrelated edits above a baselined finding don't churn the file.
+std::string baseline_key(const tagwatch::lint::Finding& f) {
+  return f.rule + "|" + f.file + "|" + f.message;
+}
+
+std::vector<std::string> load_baseline(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open baseline " + path.string());
+  std::vector<std::string> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    entries.push_back(line);
+  }
+  return entries;
+}
+
+void write_output(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << content;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root = ".";
+  fs::path root;
   std::vector<std::string> dirs;
+  std::set<std::string> rule_filter;
+  std::string sarif_path;
+  std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
-      for (const std::string& rule : tagwatch::lint::RuleEngine::rule_names()) {
-        std::printf("%s\n", rule.c_str());
+      for (const tagwatch::lint::RuleInfo& rule :
+           tagwatch::lint::RuleEngine::rules()) {
+        std::printf("%-24s %s\n", rule.name.c_str(), rule.summary.c_str());
       }
       return 0;
     }
-    if (arg == "--root") {
+    const auto take_value = [&](const char* name) -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "tagwatch_lint: --root needs a path\n");
+        std::fprintf(stderr, "tagwatch_lint: %s needs a value\n", name);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* value = take_value("--root");
+      if (value == nullptr) return 2;
+      root = value;
+      continue;
+    }
+    if (arg == "--rule" || arg.rfind("--rule=", 0) == 0) {
+      std::string name;
+      if (arg == "--rule") {
+        const char* value = take_value("--rule");
+        if (value == nullptr) return 2;
+        name = value;
+      } else {
+        name = arg.substr(7);
+      }
+      const auto& names = tagwatch::lint::RuleEngine::rule_names();
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        std::fprintf(stderr,
+                     "tagwatch_lint: unknown rule '%s' (see --list-rules)\n",
+                     name.c_str());
         return 2;
       }
-      root = argv[++i];
+      rule_filter.insert(name);
+      continue;
+    }
+    if (arg == "--sarif" || arg.rfind("--sarif=", 0) == 0) {
+      if (arg == "--sarif") {
+        const char* value = take_value("--sarif");
+        if (value == nullptr) return 2;
+        sarif_path = value;
+      } else {
+        sarif_path = arg.substr(8);
+      }
+      continue;
+    }
+    if (arg == "--baseline" || arg.rfind("--baseline=", 0) == 0) {
+      if (arg == "--baseline") {
+        const char* value = take_value("--baseline");
+        if (value == nullptr) return 2;
+        baseline_path = value;
+      } else {
+        baseline_path = arg.substr(11);
+      }
       continue;
     }
     if (arg.rfind("--", 0) == 0) {
@@ -72,6 +186,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     dirs.push_back(arg);
+  }
+  if (root.empty()) {
+    root = discover_root(fs::current_path());
+    if (root.empty()) {
+      std::fprintf(stderr,
+                   "tagwatch_lint: no repo root found above the current "
+                   "directory (looked for src/lint/lint.hpp and "
+                   "CMakeLists.txt); pass --root <dir>\n");
+      return 2;
+    }
   }
   if (dirs.empty()) {
     dirs.assign(std::begin(kDefaultDirs), std::end(kDefaultDirs));
@@ -101,17 +225,67 @@ int main(int argc, char** argv) {
   }
 
   const tagwatch::lint::RuleEngine engine;
-  const tagwatch::lint::LintReport report = engine.run(files);
+  tagwatch::lint::LintReport report = engine.run(files);
+  if (!rule_filter.empty()) {
+    std::erase_if(report.findings, [&](const tagwatch::lint::Finding& f) {
+      return rule_filter.count(f.rule) == 0;
+    });
+  }
+
+  // Baseline reconciliation: matched entries silence their findings;
+  // unmatched (stale) entries are themselves failures so the baseline
+  // can only shrink, never mask fresh regressions.
+  std::size_t baselined = 0;
+  std::vector<std::string> stale;
+  if (!baseline_path.empty()) {
+    std::vector<std::string> entries;
+    try {
+      entries = load_baseline(baseline_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tagwatch_lint: %s\n", e.what());
+      return 2;
+    }
+    std::set<std::string> current;
+    for (const tagwatch::lint::Finding& f : report.findings) {
+      current.insert(baseline_key(f));
+    }
+    std::set<std::string> known(entries.begin(), entries.end());
+    for (const std::string& entry : entries) {
+      if (current.count(entry) == 0) stale.push_back(entry);
+    }
+    const std::size_t before = report.findings.size();
+    std::erase_if(report.findings, [&](const tagwatch::lint::Finding& f) {
+      return known.count(baseline_key(f)) > 0;
+    });
+    baselined = before - report.findings.size();
+  }
+
   for (const tagwatch::lint::Finding& f : report.findings) {
     std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());
   }
+  for (const std::string& entry : stale) {
+    std::printf("%s: [baseline] stale entry — no current finding matches; "
+                "remove it\n",
+                baseline_path.c_str());
+    std::printf("  %s\n", entry.c_str());
+  }
+
+  if (!sarif_path.empty()) {
+    try {
+      write_output(sarif_path, tagwatch::lint::to_sarif(report.findings));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tagwatch_lint: %s\n", e.what());
+      return 2;
+    }
+  }
+
   std::printf(
-      "tagwatch_lint: %zu files, %zu finding%s, %zu suppression%s used "
-      "(%zu allow annotation%s in tree)\n",
+      "tagwatch_lint: %zu files, %zu finding%s, %zu baselined, "
+      "%zu suppression%s used (%zu allow annotation%s in tree)\n",
       files.size(), report.findings.size(),
-      report.findings.size() == 1 ? "" : "s", report.suppressions_used,
-      report.suppressions_used == 1 ? "" : "s", report.allow_annotations,
-      report.allow_annotations == 1 ? "" : "s");
-  return report.findings.empty() ? 0 : 1;
+      report.findings.size() == 1 ? "" : "s", baselined,
+      report.suppressions_used, report.suppressions_used == 1 ? "" : "s",
+      report.allow_annotations, report.allow_annotations == 1 ? "" : "s");
+  return report.findings.empty() && stale.empty() ? 0 : 1;
 }
