@@ -77,7 +77,18 @@ class CoverageDedupeTable {
   std::size_t used_ = 0;
 };
 
+/// See BitmaskIndex::set_test_degenerate_dedupe_hash().
+bool g_degenerate_dedupe_hash = false;
+
 }  // namespace
+
+void BitmaskIndex::set_test_degenerate_dedupe_hash(bool enabled) noexcept {
+  g_degenerate_dedupe_hash = enabled;
+}
+
+bool BitmaskIndex::test_degenerate_dedupe_hash() noexcept {
+  return g_degenerate_dedupe_hash;
+}
 
 std::string Bitmask::to_string() const {
   return "S(" + mask.to_binary_string() + ", " + std::to_string(pointer) +
@@ -232,6 +243,7 @@ std::vector<BitmaskCandidate> BitmaskIndex::candidates_for(
   // coverages hash at memory speed.  Sparse runs hash only the active
   // words instead of the whole array.
   const auto content_hash = [&]() noexcept {
+    if (g_degenerate_dedupe_hash) return std::size_t{0x5eed};
     std::uint64_t lane[4] = {14695981039346656037ull, 0x9e3779b97f4a7c15ull,
                              0xc2b2ae3d27d4eb4full, 0x165667b19e3779f9ull};
     std::size_t k = 0;

@@ -93,6 +93,16 @@ class BitmaskIndex {
   std::vector<BitmaskCandidate> candidates_for_reference(
       const util::IndicatorBitmap& targets) const;
 
+  /// Test-only: while enabled, every candidates_for() dedupe probe hashes
+  /// to the same constant, so every row lands in one collision chain and
+  /// dedupe correctness rests entirely on the exact word compare that
+  /// confirms each hash hit.  Differential tests flip this on to prove a
+  /// hash collision can never merge two distinct coverages (the guard a
+  /// hash-only table would silently lack).  Not thread-safe; never enable
+  /// outside tests.
+  static void set_test_degenerate_dedupe_hash(bool enabled) noexcept;
+  static bool test_degenerate_dedupe_hash() noexcept;
+
  private:
   std::vector<util::Epc> scene_;
   std::unordered_map<util::Epc, std::size_t> position_;

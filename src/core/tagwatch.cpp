@@ -338,13 +338,28 @@ CycleReport TagwatchController::run_cycle() {
   }
 
   if (!read_all) {
-    BitmaskIndex index(report.scene);
-    const util::IndicatorBitmap targets = index.bitmap_of(report.targets);
-    GreedyCoverScheduler scheduler(config_.cost_model,
-                                   config_.greedy_evaluation);
-    report.schedule = config_.mode == ScheduleMode::kNaiveEpcMasks
-                          ? scheduler.naive_plan(index, targets)
-                          : scheduler.plan(index, targets);
+    if (config_.planner.incremental &&
+        config_.mode == ScheduleMode::kGreedyCover) {
+      // Persistent cross-cycle planner: diff against the previous scene
+      // and patch the candidate structure instead of rebuilding it.
+      if (incremental_planner_ == nullptr) {
+        incremental_planner_ = std::make_unique<IncrementalPlanner>(
+            config_.cost_model, config_.planner.churn_threshold);
+      }
+      report.schedule =
+          incremental_planner_->plan_cycle(report.scene, report.targets);
+      report.planner_incremental = true;
+      report.planner_rebuild =
+          incremental_planner_->stats().last_was_rebuild;
+    } else {
+      BitmaskIndex index(report.scene);
+      const util::IndicatorBitmap targets = index.bitmap_of(report.targets);
+      GreedyCoverScheduler scheduler(config_.cost_model,
+                                     config_.greedy_evaluation);
+      report.schedule = config_.mode == ScheduleMode::kNaiveEpcMasks
+                            ? scheduler.naive_plan(index, targets)
+                            : scheduler.plan(index, targets);
+    }
   }
   report.read_all_fallback = read_all;
 

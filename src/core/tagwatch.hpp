@@ -28,6 +28,7 @@
 
 #include "core/assessor.hpp"
 #include "core/history.hpp"
+#include "core/incremental_planner.hpp"
 #include "core/parallel_assessor.hpp"
 #include "core/pipeline.hpp"
 #include "core/resilience.hpp"
@@ -43,6 +44,20 @@ enum class ScheduleMode {
   kGreedyCover,    ///< Tagwatch: greedy set-cover bitmasks (the paper).
   kNaiveEpcMasks,  ///< Baseline: one full-EPC bitmask per target.
   kReadAll,        ///< Baseline: no selection — keep inventorying everything.
+};
+
+/// Cross-cycle Phase-II planning policy (under ScheduleMode::kGreedyCover).
+struct PlannerConfig {
+  /// Keep the candidate structure alive across cycles and apply per-cycle
+  /// scene/target deltas instead of rebuilding the BitmaskIndex + greedy
+  /// cover from scratch.  Plans are bit-identical either way (enforced by
+  /// differential tests); incremental planning is the large-scene fast
+  /// path (131k–1M tags).
+  bool incremental = false;
+  /// Delta fraction of the scene (arrivals + departures + target flips,
+  /// over scene size) above which the incremental planner rebuilds its
+  /// structure from scratch instead of patching it.
+  double churn_threshold = 0.15;
 };
 
 /// Controller configuration (paper §6 "parameter choice" defaults).
@@ -70,6 +85,9 @@ struct TagwatchConfig {
   /// [100 ms, 60 s].  nullptr: use phase2_duration unchanged.
   std::function<util::SimDuration(std::size_t targets, std::size_t scene)>
       phase2_policy;
+  /// Cross-cycle planner policy (kGreedyCover only; other modes and the
+  /// degraded/read-all paths never consult it).
+  PlannerConfig planner;
   /// Above this mobile fraction, selective reading stops paying off and the
   /// controller falls back to reading everything (§3 "Scope").
   double mobile_fraction_threshold = 0.20;
@@ -122,6 +140,13 @@ struct CycleReport {
   /// True when Phase II read everything (no targets, fraction above
   /// threshold, or kReadAll mode).
   bool read_all_fallback = false;
+  /// True when the schedule came from the persistent cross-cycle planner
+  /// (config.planner.incremental under kGreedyCover).
+  bool planner_incremental = false;
+  /// With planner_incremental: true when this cycle's delta exceeded the
+  /// churn threshold (or the planner had no prior state) and the candidate
+  /// structure was rebuilt from scratch rather than patched.
+  bool planner_rebuild = false;
   std::size_t phase1_readings = 0;
   std::size_t phase2_readings = 0;
   util::SimDuration phase1_duration{0};
@@ -213,6 +238,13 @@ class TagwatchController {
     return quarantined_;
   }
 
+  /// The persistent cross-cycle planner, or nullptr when
+  /// config().planner.incremental is off or no selective cycle has run
+  /// yet (it is constructed lazily on first use).
+  const IncrementalPlanner* incremental_planner() const noexcept {
+    return incremental_planner_.get();
+  }
+
  private:
   /// Updates the report's per-phase counters for every reading in the
   /// batch, then pushes the whole batch through the pipeline in one
@@ -252,6 +284,8 @@ class TagwatchController {
   bool rearm_once_ = false;
   /// Scene-gated extra Phase II targets (see set_extra_targets()).
   std::vector<util::Epc> extra_targets_;
+  /// Lazily-built persistent Phase II planner (planner.incremental).
+  std::unique_ptr<IncrementalPlanner> incremental_planner_;
 
   // ------------------------------------------------- resilience state
   HealthMetrics health_;

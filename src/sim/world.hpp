@@ -82,6 +82,14 @@ class World {
   /// Removes a tag by EPC; returns true if it existed.
   bool remove_tag(const util::Epc& epc);
 
+  /// Replaces a tag's motion model (a stationary tag starts moving, a
+  /// mover comes to rest); returns true if the tag existed.  Bumps
+  /// mobility_epoch() — mutating tags() in place would be invisible to
+  /// epoch-synced consumers, so this is the sanctioned way to flip a
+  /// tag's mobility state mid-simulation.
+  bool set_tag_motion(const util::Epc& epc,
+                      std::shared_ptr<const MotionModel> motion);
+
   const std::vector<SimTag>& tags() const noexcept { return tags_; }
   std::vector<SimTag>& tags() noexcept { return tags_; }
 
@@ -104,6 +112,14 @@ class World {
   /// compare this to detect that they must remap; pure growth via
   /// add_tag() keeps old indexes valid and does NOT bump it.
   std::uint64_t structure_epoch() const noexcept { return structure_epoch_; }
+
+  /// Bumped whenever a tag's motion model is replaced via
+  /// set_tag_motion().  structure_epoch() deliberately does NOT move on a
+  /// mobility flip (indexes stay valid), so consumers that track the
+  /// mover set — the incremental Phase-II planner, mobility-keyed caches —
+  /// watch this epoch instead; the pair (structure, mobility) changes iff
+  /// anything the planner depends on changed.
+  std::uint64_t mobility_epoch() const noexcept { return mobility_epoch_; }
 
   /// Registers a named coverage zone (fleet deployments: one per reader).
   /// Returns its index into zones().  Duplicate names throw.
@@ -140,6 +156,7 @@ class World {
   std::unordered_map<util::Epc, std::size_t> index_;
   util::SimTime now_{0};
   std::uint64_t structure_epoch_ = 0;
+  std::uint64_t mobility_epoch_ = 0;
 };
 
 }  // namespace tagwatch::sim

@@ -48,7 +48,10 @@ class IndicatorBitmap {
 
   /// Rebuilds the bitmap as `size` bits copied from the ⌈size/64⌉ words at
   /// `words` (tail bits masked, popcount recomputed) — the bulk
-  /// materialization step of the candidate sweep.
+  /// materialization step of the candidate sweep.  `words` may alias the
+  /// bitmap's own backing array (all three assign overloads detect
+  /// self-assignment and keep the cached popcount exact instead of
+  /// copying through a vector::assign whose source they are clobbering).
   void assign_words(std::size_t size, const std::uint64_t* words);
 
   /// assign_words with a caller-supplied popcount of the source words.

@@ -113,6 +113,31 @@ TEST(FleetController, SessionPolicyAssignsPerReaderSessions) {
   EXPECT_EQ(shared.journal().setup.policy, "shared");
 }
 
+TEST(FleetController, PlannerConfigPropagatesToEveryReader) {
+  FleetBed bed(2, 10, 0, 2);
+  FleetConfig cfg = short_fleet_config();
+  cfg.controller.planner.incremental = true;
+  cfg.controller.planner.churn_threshold = 0.5;
+  FleetController fleet(cfg, bed.specs, &bed.world);
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_TRUE(fleet.controller(r).config().planner.incremental);
+    EXPECT_EQ(fleet.controller(r).config().planner.churn_threshold, 0.5);
+  }
+  fleet.run_cycles(8);
+  // Each reader that got past cold start planned via its own persistent
+  // planner; the stats invariant must hold wherever one was built.
+  bool planned = false;
+  for (std::size_t r = 0; r < 2; ++r) {
+    const IncrementalPlanner* p = fleet.controller(r).incremental_planner();
+    if (p == nullptr) continue;
+    planned = true;
+    EXPECT_GT(p->stats().cycles, 0u);
+    EXPECT_EQ(p->stats().cycles,
+              p->stats().incremental_cycles + p->stats().full_rebuilds);
+  }
+  EXPECT_TRUE(planned);
+}
+
 TEST(SessionPolicy, NamesRoundTrip) {
   for (const SessionPolicy p : {SessionPolicy::kIndependent,
                                 SessionPolicy::kShared,

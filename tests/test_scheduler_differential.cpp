@@ -108,6 +108,56 @@ TEST(SchedulerDifferential, PlansIdenticalUnderClusteredEpcs) {
   }
 }
 
+/// Forces every dedupe probe into one collision chain for the enclosing
+/// scope (see BitmaskIndex::set_test_degenerate_dedupe_hash).
+class DegenerateHashGuard {
+ public:
+  DegenerateHashGuard() { BitmaskIndex::set_test_degenerate_dedupe_hash(true); }
+  ~DegenerateHashGuard() {
+    BitmaskIndex::set_test_degenerate_dedupe_hash(false);
+  }
+  DegenerateHashGuard(const DegenerateHashGuard&) = delete;
+  DegenerateHashGuard& operator=(const DegenerateHashGuard&) = delete;
+};
+
+TEST(SchedulerDifferential, DedupeSurvivesAdversarialHashCollisions) {
+  // With every row hashing to the same constant, dedupe correctness rests
+  // entirely on the exact word compare behind each hash hit: a hash-only
+  // table would merge distinct coverages here and the candidate tables
+  // (and plans) would diverge from the bit-by-bit reference.
+  const DegenerateHashGuard guard;
+  ASSERT_TRUE(BitmaskIndex::test_degenerate_dedupe_hash());
+  util::Rng rng(40417);
+  for (const std::size_t n : {256u, 1024u}) {
+    const BitmaskIndex index(random_scene(n, rng));
+    const auto targets = random_targets(index, 2 + n / 128, rng);
+    const auto fast = index.candidates_for(targets);
+    const auto reference = index.candidates_for_reference(targets);
+    ASSERT_EQ(fast.size(), reference.size()) << "scene " << n;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      ASSERT_EQ(fast[i].bitmask, reference[i].bitmask)
+          << "scene " << n << " row " << i;
+      ASSERT_EQ(fast[i].coverage, reference[i].coverage)
+          << "scene " << n << " row " << i;
+    }
+    const GreedyCoverScheduler lazy(InventoryCostModel::paper_fit(),
+                                    GreedyEvaluation::kLazy);
+    expect_schedules_identical(lazy.plan(index, targets),
+                               GreedyCoverScheduler(
+                                   InventoryCostModel::paper_fit(),
+                                   GreedyEvaluation::kDense)
+                                   .plan(index, targets));
+  }
+}
+
+TEST(SchedulerDifferential, DegenerateHashHookRestores) {
+  {
+    const DegenerateHashGuard guard;
+    EXPECT_TRUE(BitmaskIndex::test_degenerate_dedupe_hash());
+  }
+  EXPECT_FALSE(BitmaskIndex::test_degenerate_dedupe_hash());
+}
+
 TEST(SchedulerDifferential, PlansIdenticalUnderCheapStartCostModel) {
   // A negligible τ0 flips the economics (no merging economy) and exercises
   // the naive worst-case guard on both paths.

@@ -16,6 +16,14 @@
 //   scheduler_evaluation = lazy   lazy | dense — greedy-cover gain
 //                                 evaluation (dense is the full-rescan
 //                                 reference path; plans are identical)
+//   planner.incremental = false   keep the Phase-II candidate structure
+//                                 alive across cycles and patch it from
+//                                 scene/target deltas instead of
+//                                 rebuilding (tagwatch mode only; plans
+//                                 are bit-identical either way)
+//   planner.churn_threshold = 0.15  delta fraction of the scene above
+//                                 which the incremental planner rebuilds
+//                                 from scratch [0,1]
 //   cycles          = 10
 //   phase2_seconds  = 5
 //   channels        = 1           1 or 16 (920–926 MHz plan)
@@ -126,7 +134,8 @@ constexpr const char* kAcceptedKeys[] = {
     "pipeline_stats", "fault_injection", "fault_rate", "fault_seed",
     "fault_drop_rate", "fault_duplicate_rate", "fault_corrupt_rate",
     "fault_reconnect_ms", "retry_attempts", "degrade_after",
-    "restore_after", "scheduler_evaluation",
+    "restore_after", "scheduler_evaluation", "planner.incremental",
+    "planner.churn_threshold",
     "fleet.readers", "fleet.pitch", "fleet.radius", "fleet.policy",
     "fleet.session", "fleet.target", "fleet.dedup_ms", "fleet.seam_tags",
     "fleet.takeover", "fleet.suspect_after", "fleet.down_after",
@@ -353,6 +362,10 @@ int run_fleet(const util::KeyValueConfig& cfg) {
   fcfg.controller.mode = parse_mode(cfg.get_or("mode", "tagwatch"));
   fcfg.controller.greedy_evaluation =
       parse_evaluation(cfg.get_or("scheduler_evaluation", "lazy"));
+  fcfg.controller.planner.incremental =
+      cfg.get_bool_or("planner.incremental", false);
+  fcfg.controller.planner.churn_threshold =
+      double_in(cfg, "planner.churn_threshold", 0.15, 0.0, 1.0);
   fcfg.controller.phase2_duration =
       util::sec(int_in(cfg, "phase2_seconds", 5, 1, 3600));
   fcfg.controller.pinned_targets = cfg.get_epc_list("pinned_targets");
@@ -418,8 +431,8 @@ int run_fleet(const util::KeyValueConfig& cfg) {
     for (const core::FleetCycleReport& report : reports) {
       delivered += report.readers[r].delivered;
       duplicates += report.readers[r].duplicates;
-      skipped += report.readers[r].skipped ? 1 : 0;
-      probes += report.readers[r].probe ? 1 : 0;
+      skipped += report.readers[r].skipped ? 1u : 0u;
+      probes += report.readers[r].probe ? 1u : 0u;
     }
     const core::FleetReaderCycle& last = reports.back().readers[r];
     std::printf("reader %-3zu  %-10s  %10zu  %11zu  %-9s  %7zu  %6zu  %6llu\n",
@@ -660,6 +673,9 @@ int run(int argc, char** argv) {
   twcfg.mode = mode;
   twcfg.greedy_evaluation =
       parse_evaluation(cfg.get_or("scheduler_evaluation", "lazy"));
+  twcfg.planner.incremental = cfg.get_bool_or("planner.incremental", false);
+  twcfg.planner.churn_threshold =
+      double_in(cfg, "planner.churn_threshold", 0.15, 0.0, 1.0);
   twcfg.phase2_duration =
       util::sec(int_in(cfg, "phase2_seconds", 5, 1, 3600));
   twcfg.pinned_targets = cfg.get_epc_list("pinned_targets");
