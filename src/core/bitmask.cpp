@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/simd.hpp"
+#include "util/task_pool.hpp"
+
 namespace tagwatch::core {
 
 namespace {
@@ -147,30 +150,95 @@ std::vector<util::Epc> BitmaskIndex::epcs_of(
 
 std::vector<BitmaskCandidate> BitmaskIndex::candidates_for(
     const util::IndicatorBitmap& targets) const {
+  return candidates_for(targets, nullptr);
+}
+
+std::vector<BitmaskCandidate> BitmaskIndex::candidates_for(
+    const util::IndicatorBitmap& targets, util::TaskPool* pool) const {
   if (targets.size() != scene_.size()) {
     throw std::invalid_argument("BitmaskIndex::candidates_for: bitmap size");
   }
-  const std::size_t words = all_.word_count();
-  const std::size_t n_targets = targets.count();
+  // Target indices in ascending order — the enumeration order of the
+  // reference.
+  std::vector<std::size_t> target_list;
+  target_list.reserve(targets.count());
+  for (std::size_t t = 0; t < scene_.size(); ++t) {
+    if (targets.test(t)) target_list.push_back(t);
+  }
+
+  // Serial path: one chunk covering every target is the sweep itself —
+  // no merge needed.  Small target lists stay serial too: below ~2
+  // targets per executor the duplicated cross-chunk probes outweigh the
+  // parallelism.
+  const std::size_t threads = pool != nullptr ? pool->thread_count() : 1;
+  if (threads <= 1 || target_list.size() < 2 * threads) {
+    std::vector<BitmaskCandidate> out;
+    sweep_target_range(targets, target_list, 0, target_list.size(), out);
+    return out;
+  }
+
+  // Parallel path: contiguous target chunks, one per executor, each swept
+  // with chunk-local dedupe/skip state (see sweep_target_range), then a
+  // serial first-wins merge in chunk order.  Every skip a chunk performs
+  // implies the skipped coverage is already in that chunk's own output,
+  // and the serial sweep's skips imply a prior global emission, so the
+  // merged sequence is byte-identical to the serial sweep's — the same
+  // rows, in the same order, at any chunk count (the determinism contract
+  // the plan-equivalence tests enforce).
+  const std::size_t chunks = std::min(threads, target_list.size());
+  std::vector<std::vector<BitmaskCandidate>> parts(chunks);
+  pool->run(chunks, [&](std::size_t k) {
+    const std::size_t begin = k * target_list.size() / chunks;
+    const std::size_t end = (k + 1) * target_list.size() / chunks;
+    sweep_target_range(targets, target_list, begin, end, parts[k]);
+  });
+
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
   std::vector<BitmaskCandidate> out;
+  out.reserve(total);
+  // Dedupe across chunks by coverage content: hash buckets confirmed by
+  // an exact compare (as in the sweep, a collision can cost a compare but
+  // never merge distinct coverages).  First occurrence in chunk order
+  // wins, matching the serial sweep's first-bitmask-seen rule.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> seen;
+  seen.reserve(total);
+  for (auto& part : parts) {
+    for (auto& cand : part) {
+      auto& bucket = seen[cand.coverage.hash()];
+      bool duplicate = false;
+      for (const std::size_t i : bucket) {
+        if (out[i].coverage == cand.coverage) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      bucket.push_back(out.size());
+      out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+void BitmaskIndex::sweep_target_range(const util::IndicatorBitmap& targets,
+                                      const std::vector<std::size_t>& target_list,
+                                      std::size_t j_begin, std::size_t j_end,
+                                      std::vector<BitmaskCandidate>& out) const {
+  const std::size_t words = all_.word_count();
+  const std::size_t n_range = j_end - j_begin;
   // A run emits several rows (one per popcount change), so reserve past
   // one row per (target, pointer) to keep growth reallocations rare —
   // but not much past it: the buffer is large enough to come from mmap,
   // so every page reserved here is a page fault on first touch.
-  out.reserve(n_targets * epc_bits_ * 3);
+  out.reserve(n_range * epc_bits_ * 3);
 
-  // Target indices in ascending order — the enumeration order of the
-  // reference — plus each target's EPC packed MSB-first into 64-bit words
-  // (bit b of the EPC at bit 63 - b%64 of word b/64).
-  std::vector<std::size_t> target_list;
-  target_list.reserve(n_targets);
-  for (std::size_t t = 0; t < scene_.size(); ++t) {
-    if (targets.test(t)) target_list.push_back(t);
-  }
+  // Each range target's EPC packed MSB-first into 64-bit words (bit b of
+  // the EPC at bit 63 - b%64 of word b/64).
   const std::size_t wpe = (epc_bits_ + 63) / 64;
-  std::vector<std::uint64_t> packed(target_list.size() * wpe, 0);
-  for (std::size_t j = 0; j < target_list.size(); ++j) {
-    const util::BitString& bits = scene_[target_list[j]].bits();
+  std::vector<std::uint64_t> packed(n_range * wpe, 0);
+  for (std::size_t j = 0; j < n_range; ++j) {
+    const util::BitString& bits = scene_[target_list[j_begin + j]].bits();
     for (std::size_t b = 0; b < epc_bits_; ++b) {
       if (bits.bit(b)) {
         packed[j * wpe + b / 64] |= std::uint64_t{1} << (63 - b % 64);
@@ -180,14 +248,17 @@ std::vector<BitmaskCandidate> BitmaskIndex::candidates_for(
 
   // max_lcp[j * epc_bits_ + p]: longest common prefix, starting at bit p,
   // between target j's EPC and any of the (up to 64 nearest) earlier
-  // targets.  A run's coverage at (p, l) is a pure function of
-  // (p, l, anchor bits [p, p+l)), so when l <= max_lcp the identical
-  // coverage was already swept — and probed, or skipped for the same
-  // reason — by that earlier target: the probe is a guaranteed duplicate.
-  // The window bound keeps the precompute O(targets · 64 · bits); a missed
-  // prefix match only costs a redundant probe, never a wrong skip.
-  std::vector<std::uint8_t> max_lcp(target_list.size() * epc_bits_, 0);
-  for (std::size_t j = 1; j < target_list.size(); ++j) {
+  // targets *of this range*.  A run's coverage at (p, l) is a pure
+  // function of (p, l, anchor bits [p, p+l)), so when l <= max_lcp the
+  // identical coverage was already swept — and probed, or skipped for the
+  // same reason — by that earlier target: the probe is a guaranteed
+  // duplicate.  Confining the lookback to the range keeps every skip
+  // justified by this range's own output, which is what lets the parallel
+  // merge reproduce the serial sweep exactly.  The window bound keeps the
+  // precompute O(targets · 64 · bits); a missed prefix match only costs a
+  // redundant probe, never a wrong skip.
+  std::vector<std::uint8_t> max_lcp(n_range * epc_bits_, 0);
+  for (std::size_t j = 1; j < n_range; ++j) {
     std::uint8_t* row = max_lcp.data() + j * epc_bits_;
     const std::uint64_t* pj = packed.data() + j * wpe;
     const std::size_t lo = j > 64 ? j - 64 : 0;
@@ -233,7 +304,7 @@ std::vector<BitmaskCandidate> BitmaskIndex::candidates_for(
   // the reference.  The table keys on a content hash of the coverage
   // words; a hash match is confirmed by an exact compare against the
   // emitted row.
-  CoverageDedupeTable seen(n_targets * epc_bits_ * 4);
+  CoverageDedupeTable seen(n_range * epc_bits_ * 4);
 
   // Four interleaved FNV-1a lanes over the (index, word) pairs of the
   // nonzero words, folded at the end: a pure function of the coverage
@@ -306,12 +377,9 @@ std::vector<BitmaskCandidate> BitmaskIndex::candidates_for(
     } else {
       cand.coverage.assign_words(scene_.size(), w.data(), cnt);
     }
-    std::size_t covered = 0;
-    for (const std::size_t idx : sparse ? active : target_words) {
-      covered +=
-          static_cast<std::size_t>(std::popcount(wp[idx] & twp[idx]));
-    }
-    cand.targets_covered = covered;
+    const std::vector<std::size_t>& idxs = sparse ? active : target_words;
+    cand.targets_covered =
+        util::simd::gather_and_popcount(wp, twp, idxs.data(), idxs.size());
     seen.insert(pos, h, out.size());
     out.push_back(std::move(cand));
   };
@@ -324,8 +392,8 @@ std::vector<BitmaskCandidate> BitmaskIndex::candidates_for(
   // Column word pointers of the current fused skip-region pass.
   std::vector<const std::uint64_t*> cols(epc_bits_, nullptr);
 
-  for (std::size_t j = 0; j < target_list.size(); ++j) {
-    const std::size_t t = target_list[j];
+  for (std::size_t j = 0; j < n_range; ++j) {
+    const std::size_t t = target_list[j_begin + j];
     const std::uint64_t* pj = packed.data() + j * wpe;
     for (std::size_t b = 0; b < epc_bits_; ++b) {
       anchor_bits[b] = (pj[b / 64] >> (63 - b % 64)) & 1u;
@@ -355,15 +423,10 @@ std::vector<BitmaskCandidate> BitmaskIndex::candidates_for(
         cnt = head_cnt;
         sparse = cnt < sparse_below;
         const std::uint64_t* const hw = head.word_data();
+        std::copy(hw, hw + words, wp);
         if (sparse) {
-          active.clear();
-          for (std::size_t i = 0; i < words; ++i) {
-            const std::uint64_t v = hw[i];
-            wp[i] = v;
-            if (v != 0) active.push_back(i);
-          }
-        } else {
-          for (std::size_t i = 0; i < words; ++i) wp[i] = hw[i];
+          active.resize(words);
+          active.resize(util::simd::nonzero_indices(wp, words, active.data()));
         }
       };
 
@@ -397,25 +460,12 @@ std::vector<BitmaskCandidate> BitmaskIndex::candidates_for(
         cols[n_cols++] =
             (anchor_bits[b] != 0 ? ones_[b] : zeros_[b]).word_data();
       }
-      {
-        const std::uint64_t* const hw = head.word_data();
-        std::size_t total = 0;
-        for (std::size_t i = 0; i < words; ++i) {
-          std::uint64_t v = hw[i];
-          // Most words die within a few columns; once v hits zero the
-          // remaining ANDs cannot revive it, so stop early.
-          for (std::size_t c = 0; c < n_cols && v != 0; ++c) v &= cols[c][i];
-          wp[i] = v;
-          total += static_cast<std::size_t>(std::popcount(v));
-        }
-        cnt = total;
-        sparse = cnt < sparse_below;
-        if (sparse) {
-          active.clear();
-          for (std::size_t i = 0; i < words; ++i) {
-            if (wp[i] != 0) active.push_back(i);
-          }
-        }
+      cnt = util::simd::fused_and_columns(wp, head.word_data(), cols.data(),
+                                          n_cols, words);
+      sparse = cnt < sparse_below;
+      if (sparse) {
+        active.resize(words);
+        active.resize(util::simd::nonzero_indices(wp, words, active.data()));
       }
       if (L < 2) {
         // Normal probe logic for the first extension (l = 2).
@@ -444,19 +494,12 @@ std::vector<BitmaskCandidate> BitmaskIndex::candidates_for(
         const std::size_t prev_cnt = cnt;
         const std::uint64_t* const sw = step.word_data();
         if (!sparse) {
-          std::size_t total = 0;
-          for (std::size_t i = 0; i < words; ++i) {
-            const std::uint64_t v = wp[i] & sw[i];
-            wp[i] = v;
-            total += static_cast<std::size_t>(std::popcount(v));
-          }
-          cnt = total;
+          cnt = util::simd::and_inplace_popcount(wp, sw, words);
           if (cnt < sparse_below) {
             sparse = true;
-            active.clear();
-            for (std::size_t i = 0; i < words; ++i) {
-              if (wp[i] != 0) active.push_back(i);
-            }
+            active.resize(words);
+            active.resize(
+                util::simd::nonzero_indices(wp, words, active.data()));
           }
         } else {
           std::size_t kept = 0;
@@ -487,7 +530,6 @@ std::vector<BitmaskCandidate> BitmaskIndex::candidates_for(
       }
     }
   }
-  return out;
 }
 
 std::vector<BitmaskCandidate> BitmaskIndex::candidates_for_reference(

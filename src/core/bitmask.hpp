@@ -17,6 +17,10 @@
 #include "util/epc.hpp"
 #include "util/indicator_bitmap.hpp"
 
+namespace tagwatch::util {
+class TaskPool;
+}
+
 namespace tagwatch::core {
 
 /// One Gen2 Select bitmask over the EPC bank.
@@ -86,6 +90,16 @@ class BitmaskIndex {
   std::vector<BitmaskCandidate> candidates_for(
       const util::IndicatorBitmap& targets) const;
 
+  /// Parallel candidates_for(): shards the per-target sweep into one
+  /// contiguous target chunk per pool executor, each swept with
+  /// chunk-local dedupe/skip state, then merges the chunk outputs
+  /// serially in chunk order (first coverage seen wins).  The output —
+  /// rows, order, bitmasks, counts — is byte-identical to the serial
+  /// overload at any thread count; a null pool (or a single-executor
+  /// pool) degenerates to the serial sweep.
+  std::vector<BitmaskCandidate> candidates_for(
+      const util::IndicatorBitmap& targets, util::TaskPool* pool) const;
+
   /// Reference implementation of candidates_for(): rebuilds every coverage
   /// bitmap bit-by-bit from "all tags".  Kept as the oracle for the
   /// differential tests; output (order included) is identical to the fast
@@ -104,6 +118,17 @@ class BitmaskIndex {
   static bool test_degenerate_dedupe_hash() noexcept;
 
  private:
+  /// The candidate sweep over targets [j_begin, j_end) of `target_list`
+  /// (ascending scene indices), appending rows to `out`.  All skip state —
+  /// the max_lcp lookback window, first-probe flags, and the dedupe table
+  /// — is local to the range, so every skipped probe's coverage is
+  /// guaranteed to be in `out` already; that property is what makes the
+  /// parallel chunk merge reproduce the serial sweep exactly.
+  void sweep_target_range(const util::IndicatorBitmap& targets,
+                          const std::vector<std::size_t>& target_list,
+                          std::size_t j_begin, std::size_t j_end,
+                          std::vector<BitmaskCandidate>& out) const;
+
   std::vector<util::Epc> scene_;
   std::unordered_map<util::Epc, std::size_t> position_;
   std::size_t epc_bits_ = 0;

@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <iterator>
 #include <queue>
 #include <stdexcept>
+#include <utility>
+
+#include "util/simd.hpp"
+#include "util/task_pool.hpp"
 
 namespace tagwatch::core {
 
@@ -34,8 +39,9 @@ struct HeapLess {
 }  // namespace
 
 IncrementalPlanner::IncrementalPlanner(InventoryCostModel cost_model,
-                                       double churn_threshold)
-    : cost_model_(cost_model), churn_threshold_(churn_threshold) {
+                                       double churn_threshold,
+                                       util::TaskPool* pool)
+    : cost_model_(cost_model), churn_threshold_(churn_threshold), pool_(pool) {
   if (churn_threshold < 0.0) {
     throw std::invalid_argument(
         "IncrementalPlanner: churn_threshold must be >= 0");
@@ -110,45 +116,45 @@ void IncrementalPlanner::release_slot(std::uint32_t slot) {
 
 // --------------------------------------------------------- edge registry
 
-std::uint32_t IncrementalPlanner::alloc_edge() {
+std::uint32_t IncrementalPlanner::alloc_edge(Arena& a) {
   std::uint32_t e;
-  if (!free_edges_.empty()) {
-    e = free_edges_.back();
-    free_edges_.pop_back();
-    edges_[e] = Edge{};
+  if (!a.free_edges.empty()) {
+    e = a.free_edges.back();
+    a.free_edges.pop_back();
+    a.edges[e] = Edge{};
   } else {
-    e = static_cast<std::uint32_t>(edges_.size());
-    edges_.emplace_back();
+    e = static_cast<std::uint32_t>(a.edges.size());
+    a.edges.emplace_back();
   }
-  edges_[e].alive = true;
-  ++live_edges_;
+  a.edges[e].alive = true;
+  ++a.live_edges;
   return e;
 }
 
-std::uint32_t IncrementalPlanner::alloc_node() {
-  if (!free_nodes_.empty()) {
-    const std::uint32_t n = free_nodes_.back();
-    free_nodes_.pop_back();
-    nodes_[n] = Node{};
+std::uint32_t IncrementalPlanner::alloc_node(Arena& a) {
+  if (!a.free_nodes.empty()) {
+    const std::uint32_t n = a.free_nodes.back();
+    a.free_nodes.pop_back();
+    a.nodes[n] = Node{};
     return n;
   }
-  nodes_.emplace_back();
-  return static_cast<std::uint32_t>(nodes_.size() - 1);
+  a.nodes.emplace_back();
+  return static_cast<std::uint32_t>(a.nodes.size() - 1);
 }
 
 void IncrementalPlanner::free_edge(std::uint32_t e) {
-  edges_[e].alive = false;
-  edges_[e].targets.clear();
-  free_edges_.push_back(e);
-  --live_edges_;
+  arena_.edges[e].alive = false;
+  arena_.edges[e].targets.clear();
+  arena_.free_edges.push_back(e);
+  --arena_.live_edges;
 }
 
 void IncrementalPlanner::free_node(std::uint32_t n) {
-  free_nodes_.push_back(n);
+  arena_.free_nodes.push_back(n);
 }
 
 std::size_t IncrementalPlanner::edge_bot(const Edge& e) const noexcept {
-  return e.child_node != kNone ? nodes_[e.child_node].depth
+  return e.child_node != kNone ? arena_.nodes[e.child_node].depth
                                : epc_bits_ - e.p;
 }
 
@@ -161,17 +167,17 @@ void IncrementalPlanner::refresh_min_slot(Edge& e) const {
 }
 
 void IncrementalPlanner::free_below(std::uint32_t e) {
-  const std::uint32_t child = edges_[e].child_node;
+  const std::uint32_t child = arena_.edges[e].child_node;
   if (child == kNone) return;
   for (const int side : {0, 1}) {
-    const std::uint32_t se = nodes_[child].side[side].edge;
+    const std::uint32_t se = arena_.nodes[child].side[side].edge;
     if (se != kNone) {
       free_below(se);
       free_edge(se);
     }
   }
   free_node(child);
-  edges_[e].child_node = kNone;
+  arena_.edges[e].child_node = kNone;
 }
 
 // ------------------------------------------------------------- coverage
@@ -179,26 +185,16 @@ void IncrementalPlanner::free_below(std::uint32_t e) {
 void IncrementalPlanner::materialize(Scratch& s, std::size_t p,
                                      std::size_t d,
                                      std::uint32_t anchor) const {
-  col_ptrs_.clear();
+  s.col_ptrs.clear();
   for (std::size_t k = 0; k < d; ++k) {
-    col_ptrs_.push_back(column(p + k, epc_bit(anchor, p + k)));
+    s.col_ptrs.push_back(column(p + k, epc_bit(anchor, p + k)));
   }
   s.words.resize(cap_words_);
-  s.active.clear();
-  s.count = 0;
-  const std::uint64_t* const present = present_.data();
-  for (std::size_t w = 0; w < cap_words_; ++w) {
-    std::uint64_t acc = present[w];
-    for (const std::uint64_t* col : col_ptrs_) {
-      acc &= col[w];
-      if (acc == 0) break;
-    }
-    s.words[w] = acc;
-    if (acc != 0) {
-      s.active.push_back(static_cast<std::uint32_t>(w));
-      s.count += static_cast<std::size_t>(std::popcount(acc));
-    }
-  }
+  s.count = util::simd::fused_and_columns(s.words.data(), present_.data(),
+                                          s.col_ptrs.data(), d, cap_words_);
+  s.active.resize(cap_words_);
+  s.active.resize(util::simd::nonzero_indices_u32(s.words.data(), cap_words_,
+                                                  s.active.data()));
 }
 
 void IncrementalPlanner::scratch_and_column(Scratch& s,
@@ -221,14 +217,15 @@ void IncrementalPlanner::scratch_and_column(Scratch& s,
 
 void IncrementalPlanner::split_edge(std::size_t p, std::uint32_t e,
                                     std::size_t j, std::uint32_t slot) {
-  const std::uint32_t anchor = edges_[e].min_slot;
+  const std::uint32_t anchor = arena_.edges[e].min_slot;
   const bool anchor_bit = epc_bit(anchor, p + j);
+  (void)slot;
   assert(epc_bit(slot, p + j) != anchor_bit);
 
-  const std::uint32_t m = alloc_node();
-  const std::uint32_t bottom = alloc_edge();
-  Edge& top = edges_[e];
-  Edge& bot = edges_[bottom];
+  const std::uint32_t m = alloc_node(arena_);
+  const std::uint32_t bottom = alloc_edge(arena_);
+  Edge& top = arena_.edges[e];
+  Edge& bot = arena_.edges[bottom];
   bot.p = top.p;
   bot.d = static_cast<std::uint16_t>(j + 1);
   bot.parent_node = m;
@@ -237,9 +234,9 @@ void IncrementalPlanner::split_edge(std::size_t p, std::uint32_t e,
   bot.count = top.count;
   bot.min_slot = top.min_slot;
   bot.targets = top.targets;  // Same targets below both halves.
-  if (bot.child_node != kNone) nodes_[bot.child_node].parent_edge = bottom;
+  if (bot.child_node != kNone) arena_.nodes[bot.child_node].parent_edge = bottom;
 
-  Node& node = nodes_[m];
+  Node& node = arena_.nodes[m];
   node.depth = static_cast<std::uint16_t>(j);
   node.parent_edge = e;
   node.parent_side = top.parent_side;
@@ -252,33 +249,33 @@ void IncrementalPlanner::arrive_in_trie(std::size_t p, std::uint32_t slot) {
   Trie& trie = tries_[p];
   std::uint32_t e;
   if (trie.root_edge != kNone) {
-    const std::uint32_t anchor = edges_[trie.root_edge].min_slot;
+    const std::uint32_t anchor = arena_.edges[trie.root_edge].min_slot;
     // A divergence at bit p itself lands in the untracked region.
     if (epc_bit(slot, p) != epc_bit(anchor, p)) return;
     e = trie.root_edge;
   } else if (trie.root_node != kNone) {
     const int b = epc_bit(slot, p) ? 1 : 0;
-    e = nodes_[trie.root_node].side[b].edge;  // Root sides: always edges.
+    e = arena_.nodes[trie.root_node].side[b].edge;  // Root sides: always edges.
   } else {
     return;  // No targets in this trie: nothing is tracked.
   }
 
   for (;;) {
-    const std::size_t bot = edge_bot(edges_[e]);
-    const std::uint32_t anchor = edges_[e].min_slot;
+    const std::size_t bot = edge_bot(arena_.edges[e]);
+    const std::uint32_t anchor = arena_.edges[e].min_slot;
     // Scan the span below the top for the arrival's divergence point.
-    std::size_t j = edges_[e].d;
+    std::size_t j = arena_.edges[e].d;
     while (j < bot && epc_bit(slot, p + j) == epc_bit(anchor, p + j)) ++j;
     if (j < bot) {
       split_edge(p, e, j, slot);
-      ++edges_[e].count;  // Only the top half gains the arrival.
+      ++arena_.edges[e].count;  // Only the top half gains the arrival.
       return;
     }
-    ++edges_[e].count;
-    const std::uint32_t child = edges_[e].child_node;
+    ++arena_.edges[e].count;
+    const std::uint32_t child = arena_.edges[e].child_node;
     if (child == kNone) return;  // Joined the terminal suffix class.
-    const int b = epc_bit(slot, p + nodes_[child].depth) ? 1 : 0;
-    Side& side = nodes_[child].side[b];
+    const int b = epc_bit(slot, p + arena_.nodes[child].depth) ? 1 : 0;
+    Side& side = arena_.nodes[child].side[b];
     if (side.edge == kNone) {
       ++side.blob;
       return;
@@ -291,22 +288,22 @@ void IncrementalPlanner::depart_in_trie(std::size_t p, std::uint32_t slot) {
   Trie& trie = tries_[p];
   std::uint32_t e;
   if (trie.root_edge != kNone) {
-    const std::uint32_t anchor = edges_[trie.root_edge].min_slot;
+    const std::uint32_t anchor = arena_.edges[trie.root_edge].min_slot;
     if (epc_bit(slot, p) != epc_bit(anchor, p)) return;  // Untracked.
     e = trie.root_edge;
   } else if (trie.root_node != kNone) {
     const int b = epc_bit(slot, p) ? 1 : 0;
-    e = nodes_[trie.root_node].side[b].edge;
+    e = arena_.nodes[trie.root_node].side[b].edge;
   } else {
     return;
   }
 
   for (;;) {
-    --edges_[e].count;
-    const std::uint32_t child = edges_[e].child_node;
+    --arena_.edges[e].count;
+    const std::uint32_t child = arena_.edges[e].child_node;
     if (child == kNone) return;  // Left the terminal suffix class.
-    const int b = epc_bit(slot, p + nodes_[child].depth) ? 1 : 0;
-    Side& side = nodes_[child].side[b];
+    const int b = epc_bit(slot, p + arena_.nodes[child].depth) ? 1 : 0;
+    Side& side = arena_.nodes[child].side[b];
     if (side.edge != kNone) {
       e = side.edge;
       continue;
@@ -315,118 +312,118 @@ void IncrementalPlanner::depart_in_trie(std::size_t p, std::uint32_t slot) {
     // The blob emptied: the branch is gone.  Merge the parent edge with
     // the surviving side's edge; the parent keeps the row identity and
     // its count already matches (both now cover the same subtree).
-    const std::uint32_t other = nodes_[child].side[1 - b].edge;
+    const std::uint32_t other = arena_.nodes[child].side[1 - b].edge;
     assert(other != kNone);  // That side holds the targets below.
-    Edge& top = edges_[e];
-    top.child_node = edges_[other].child_node;
-    if (top.child_node != kNone) nodes_[top.child_node].parent_edge = e;
-    assert(top.count == edges_[other].count);
+    Edge& top = arena_.edges[e];
+    top.child_node = arena_.edges[other].child_node;
+    if (top.child_node != kNone) arena_.nodes[top.child_node].parent_edge = e;
+    assert(top.count == arena_.edges[other].count);
     free_edge(other);
     free_node(child);
     return;
   }
 }
 
-void IncrementalPlanner::expand_target_path(std::size_t p,
-                                            std::uint32_t node, int side,
-                                            std::uint32_t slot) {
+void IncrementalPlanner::expand_target_path(Arena& a, Scratch& s,
+                                            std::size_t p, std::uint32_t node,
+                                            int side, std::uint32_t slot) {
   const std::size_t lp = epc_bits_ - p;
   const std::size_t start_d =
-      node == kNone ? 1 : static_cast<std::size_t>(nodes_[node].depth) + 1;
-  materialize(scratch_, p, start_d, slot);
-  assert(node == kNone ||
-         scratch_.count == nodes_[node].side[side].blob);
+      node == kNone ? 1 : static_cast<std::size_t>(a.nodes[node].depth) + 1;
+  materialize(s, p, start_d, slot);
+  assert(node == kNone || s.count == a.nodes[node].side[side].blob);
 
-  std::uint32_t cur = alloc_edge();
+  std::uint32_t cur = alloc_edge(a);
   {
-    Edge& e = edges_[cur];
+    Edge& e = a.edges[cur];
     e.p = static_cast<std::uint16_t>(p);
     e.d = static_cast<std::uint16_t>(start_d);
     e.parent_node = node;
     e.parent_side = static_cast<std::uint8_t>(side);
-    e.count = static_cast<std::uint32_t>(scratch_.count);
+    e.count = static_cast<std::uint32_t>(s.count);
     e.min_slot = slot;
     e.targets.push_back(slot);
   }
   if (node == kNone) {
     tries_[p].root_edge = cur;
   } else {
-    nodes_[node].side[side] = Side{cur, 0};
+    a.nodes[node].side[side] = Side{cur, 0};
   }
 
   for (std::size_t k = start_d; k < lp; ++k) {
-    const std::size_t before = scratch_.count;
+    const std::size_t before = s.count;
     const bool bit = epc_bit(slot, p + k);
-    scratch_and_column(scratch_, column(p + k, bit));
-    if (scratch_.count == before) continue;
+    scratch_and_column(s, column(p + k, bit));
+    if (s.count == before) continue;
     // The scene diverges at bit p+k: branch here, the far side a blob.
-    const std::uint32_t m = alloc_node();
-    const std::uint32_t next = alloc_edge();
-    Node& branch = nodes_[m];
+    const std::uint32_t m = alloc_node(a);
+    const std::uint32_t next = alloc_edge(a);
+    Node& branch = a.nodes[m];
     branch.depth = static_cast<std::uint16_t>(k);
     branch.parent_edge = cur;
-    branch.parent_side = edges_[cur].parent_side;
+    branch.parent_side = a.edges[cur].parent_side;
     branch.side[bit ? 1 : 0] = Side{next, 0};
     branch.side[bit ? 0 : 1] =
-        Side{kNone, static_cast<std::uint32_t>(before - scratch_.count)};
-    edges_[cur].child_node = m;
-    Edge& e = edges_[next];
+        Side{kNone, static_cast<std::uint32_t>(before - s.count)};
+    a.edges[cur].child_node = m;
+    Edge& e = a.edges[next];
     e.p = static_cast<std::uint16_t>(p);
     e.d = static_cast<std::uint16_t>(k + 1);
     e.parent_node = m;
     e.parent_side = bit ? 1 : 0;
-    e.count = static_cast<std::uint32_t>(scratch_.count);
+    e.count = static_cast<std::uint32_t>(s.count);
     e.min_slot = slot;
     e.targets.push_back(slot);
     cur = next;
   }
 }
 
-void IncrementalPlanner::add_target_in_trie(std::size_t p,
+void IncrementalPlanner::add_target_in_trie(Arena& a, Scratch& s,
+                                            std::size_t p,
                                             std::uint32_t slot) {
   Trie& trie = tries_[p];
   std::uint32_t e;
   if (trie.root_edge == kNone && trie.root_node == kNone) {
-    expand_target_path(p, kNone, 0, slot);
+    expand_target_path(a, s, p, kNone, 0, slot);
     return;
   }
   if (trie.root_edge != kNone) {
     const std::uint32_t root = trie.root_edge;
-    const std::uint32_t anchor = edges_[root].min_slot;
+    const std::uint32_t anchor = a.edges[root].min_slot;
     const bool root_bit = epc_bit(anchor, p);
     if (epc_bit(slot, p) != root_bit) {
       // The new target lives in the untracked region: promote the root
       // to a depth-0 branch node and expand the target's side under it.
-      const std::uint32_t n0 = alloc_node();
-      nodes_[n0].depth = 0;
-      nodes_[n0].parent_edge = kNone;
-      nodes_[n0].side[root_bit ? 1 : 0] = Side{root, 0};
-      edges_[root].parent_node = n0;
-      edges_[root].parent_side = root_bit ? 1 : 0;
+      const std::uint32_t n0 = alloc_node(a);
+      a.nodes[n0].depth = 0;
+      a.nodes[n0].parent_edge = kNone;
+      a.nodes[n0].side[root_bit ? 1 : 0] = Side{root, 0};
+      a.edges[root].parent_node = n0;
+      a.edges[root].parent_side = root_bit ? 1 : 0;
       trie.root_edge = kNone;
       trie.root_node = n0;
-      expand_target_path(p, n0, root_bit ? 0 : 1, slot);
+      expand_target_path(a, s, p, n0, root_bit ? 0 : 1, slot);
       return;
     }
     e = root;
   } else {
     const int b = epc_bit(slot, p) ? 1 : 0;
-    e = nodes_[trie.root_node].side[b].edge;
+    e = a.nodes[trie.root_node].side[b].edge;
   }
 
   for (;;) {
-    Edge& edge = edges_[e];
+    Edge& edge = a.edges[e];
     edge.targets.push_back(slot);
     if (epcs_[slot] < epcs_[edge.min_slot]) edge.min_slot = slot;
     const std::uint32_t child = edge.child_node;
     if (child == kNone) return;  // Shares the terminal suffix class.
-    const int b = epc_bit(slot, p + nodes_[child].depth) ? 1 : 0;
-    const Side& side = nodes_[child].side[b];
+    const int b = epc_bit(slot, p + a.nodes[child].depth) ? 1 : 0;
+    const Side& side = a.nodes[child].side[b];
     if (side.edge != kNone) {
       e = side.edge;
       continue;
     }
-    expand_target_path(p, child, b, slot);
+    expand_target_path(a, s, p, child, b, slot);
     return;
   }
 }
@@ -439,14 +436,14 @@ void IncrementalPlanner::remove_target_in_trie(std::size_t p,
     e = trie.root_edge;  // A target is never untracked.
   } else {
     const int b = epc_bit(slot, p) ? 1 : 0;
-    e = nodes_[trie.root_node].side[b].edge;
+    e = arena_.nodes[trie.root_node].side[b].edge;
   }
 
   // Walk down removing the target; targets below are nested, so the first
   // edge whose list empties tops the target's now-private path.
   std::uint32_t e_top = kNone;
   for (;;) {
-    Edge& edge = edges_[e];
+    Edge& edge = arena_.edges[e];
     auto& ts = edge.targets;
     const auto it = std::find(ts.begin(), ts.end(), slot);
     assert(it != ts.end());
@@ -459,35 +456,67 @@ void IncrementalPlanner::remove_target_in_trie(std::size_t p,
     if (edge.min_slot == slot) refresh_min_slot(edge);
     const std::uint32_t child = edge.child_node;
     if (child == kNone) return;  // Other targets share the suffix class.
-    const int b = epc_bit(slot, p + nodes_[child].depth) ? 1 : 0;
-    e = nodes_[child].side[b].edge;  // A target's side is always an edge.
+    const int b = epc_bit(slot, p + arena_.nodes[child].depth) ? 1 : 0;
+    e = arena_.nodes[child].side[b].edge;  // A target's side is always an edge.
   }
 
   // Collapse the private path below (and including) e_top into a blob.
   free_below(e_top);
-  const std::uint32_t parent = edges_[e_top].parent_node;
+  const std::uint32_t parent = arena_.edges[e_top].parent_node;
   if (parent == kNone) {
     free_edge(e_top);  // Last target of the trie: back to one big blob.
     trie.root_edge = kNone;
     return;
   }
-  Node& m = nodes_[parent];
-  const int side = edges_[e_top].parent_side;
+  Node& m = arena_.nodes[parent];
+  const int side = arena_.edges[e_top].parent_side;
   if (m.depth == 0) {
     // Depth-0 branch with one side now targetless: the survivor becomes
     // the root edge again and the freed side returns to untracked.
     const std::uint32_t other = m.side[1 - side].edge;
     assert(other != kNone);
-    edges_[other].parent_node = kNone;
-    edges_[other].parent_side = 0;
+    arena_.edges[other].parent_node = kNone;
+    arena_.edges[other].parent_side = 0;
     trie.root_node = kNone;
     trie.root_edge = other;
     free_edge(e_top);
     free_node(parent);
     return;
   }
-  m.side[side] = Side{kNone, edges_[e_top].count};
+  m.side[side] = Side{kNone, arena_.edges[e_top].count};
   free_edge(e_top);
+}
+
+void IncrementalPlanner::splice_arena(Arena&& a, std::size_t p_begin,
+                                      std::size_t p_end) {
+  // Rebuild-time arenas only ever allocate (the add path never frees), so
+  // a task arena is a dense prefix-free block: appending it after the
+  // current arena and shifting every index by the offsets reproduces the
+  // exact layout the serial p-major build would have produced.
+  assert(a.free_edges.empty() && a.free_nodes.empty());
+  const std::uint32_t edge_off =
+      static_cast<std::uint32_t>(arena_.edges.size());
+  const std::uint32_t node_off =
+      static_cast<std::uint32_t>(arena_.nodes.size());
+  for (Edge& e : a.edges) {
+    if (e.parent_node != kNone) e.parent_node += node_off;
+    if (e.child_node != kNone) e.child_node += node_off;
+  }
+  for (Node& n : a.nodes) {
+    if (n.parent_edge != kNone) n.parent_edge += edge_off;
+    for (const int side : {0, 1}) {
+      if (n.side[side].edge != kNone) n.side[side].edge += edge_off;
+    }
+  }
+  arena_.edges.insert(arena_.edges.end(),
+                      std::make_move_iterator(a.edges.begin()),
+                      std::make_move_iterator(a.edges.end()));
+  arena_.nodes.insert(arena_.nodes.end(), a.nodes.begin(), a.nodes.end());
+  arena_.live_edges += a.live_edges;
+  for (std::size_t p = p_begin; p < p_end; ++p) {
+    if (tries_[p].root_edge != kNone) tries_[p].root_edge += edge_off;
+    if (tries_[p].root_node != kNone) tries_[p].root_node += node_off;
+  }
 }
 
 void IncrementalPlanner::tag_arrived(std::uint32_t slot) {
@@ -501,7 +530,9 @@ void IncrementalPlanner::tag_departed(std::uint32_t slot) {
 void IncrementalPlanner::target_added(std::uint32_t slot) {
   is_target_[slot] = 1;
   target_slots_.push_back(slot);
-  for (std::size_t p = 0; p < epc_bits_; ++p) add_target_in_trie(p, slot);
+  for (std::size_t p = 0; p < epc_bits_; ++p) {
+    add_target_in_trie(arena_, scratch_, p, slot);
+  }
 }
 
 void IncrementalPlanner::target_removed(std::uint32_t slot) {
@@ -556,9 +587,9 @@ Schedule IncrementalPlanner::run_greedy() {
   // Seed every live row with its full-target-set gain, fresh for round 1
   // (every row covers at least one target by construction).
   std::vector<HeapEntry> seed;
-  seed.reserve(live_edges_);
-  for (std::uint32_t e = 0; e < edges_.size(); ++e) {
-    const Edge& edge = edges_[e];
+  seed.reserve(arena_.live_edges);
+  for (std::uint32_t e = 0; e < arena_.edges.size(); ++e) {
+    const Edge& edge = arena_.edges[e];
     if (!edge.alive) continue;
     const double gain =
         static_cast<double>(edge.targets.size()) / cost_of(edge.count);
@@ -587,16 +618,16 @@ Schedule IncrementalPlanner::run_greedy() {
         break;
       }
       std::size_t covered = 0;
-      for (const std::uint32_t t : edges_[top.edge].targets) {
+      for (const std::uint32_t t : arena_.edges[top.edge].targets) {
         covered += remaining_[t];
       }
       if (covered == 0) continue;
       heap.push({static_cast<double>(covered) /
-                     cost_of(edges_[top.edge].count),
+                     cost_of(arena_.edges[top.edge].count),
                  top.key, top.edge, round});
     }
 
-    const Edge& edge = edges_[chosen];
+    const Edge& edge = arena_.edges[chosen];
     ScheduledBitmask sel;
     sel.bitmask.pointer = static_cast<std::uint32_t>(edge.p);
     sel.bitmask.mask = epcs_[edge.min_slot].bits().substring(edge.p, edge.d);
@@ -619,8 +650,8 @@ Schedule IncrementalPlanner::run_greedy() {
       while (bits != 0) {
         const int b = std::countr_zero(bits);
         bits &= bits - 1;
-        plan.covered_union.set(
-            rank_[static_cast<std::size_t>(w) * 64 + b]);
+        plan.covered_union.set(rank_[static_cast<std::size_t>(w) * 64 +
+                                     static_cast<std::size_t>(b)]);
       }
     }
     ++round;
@@ -652,19 +683,57 @@ void IncrementalPlanner::rebuild(const std::vector<util::Epc>& scene,
   is_target_.clear();
   target_slots_.clear();
   tries_.assign(epc_bits_, Trie{});
-  edges_.clear();
-  nodes_.clear();
-  free_edges_.clear();
-  free_nodes_.clear();
-  live_edges_ = 0;
+  arena_.edges.clear();
+  arena_.nodes.clear();
+  arena_.free_edges.clear();
+  arena_.free_nodes.clear();
+  arena_.live_edges = 0;
 
   ensure_capacity(scene.size());
   sorted_slots_.reserve(scene.size());
   for (const util::Epc& epc : scene) {
     sorted_slots_.push_back(alloc_slot(epc));
   }
+  // Register every target first, then build the tries pointer-major: the
+  // per-trie call sequence (ascending scene order per pointer) is the same
+  // as the target-major order, and the add path reads only the slot
+  // registry, so the resulting tries are identical — but pointer-major
+  // makes each trie's construction independent, which is what the
+  // parallel path shards.
   for (std::size_t i = 0; i < scene.size(); ++i) {
-    if (is_target[i]) target_added(sorted_slots_[i]);
+    if (!is_target[i]) continue;
+    const std::uint32_t slot = sorted_slots_[i];
+    is_target_[slot] = 1;
+    target_slots_.push_back(slot);
+  }
+  const std::size_t threads = pool_ != nullptr ? pool_->thread_count() : 1;
+  if (threads <= 1 || target_slots_.empty() || epc_bits_ < 2 * threads) {
+    for (std::size_t p = 0; p < epc_bits_; ++p) {
+      for (const std::uint32_t slot : target_slots_) {
+        add_target_in_trie(arena_, scratch_, p, slot);
+      }
+    }
+  } else {
+    // Contiguous pointer ranges, one task-local arena each, spliced back
+    // in task order: byte-identical to the serial pointer-major build
+    // (see splice_arena).  Tasks share nothing mutable — each writes only
+    // its own arena/scratch and its own tries_[p] range.
+    const std::size_t chunks = std::min(threads, epc_bits_);
+    std::vector<Arena> arenas(chunks);
+    std::vector<Scratch> scratches(chunks);
+    pool_->run(chunks, [&](std::size_t k) {
+      const std::size_t p0 = k * epc_bits_ / chunks;
+      const std::size_t p1 = (k + 1) * epc_bits_ / chunks;
+      for (std::size_t p = p0; p < p1; ++p) {
+        for (const std::uint32_t slot : target_slots_) {
+          add_target_in_trie(arenas[k], scratches[k], p, slot);
+        }
+      }
+    });
+    for (std::size_t k = 0; k < chunks; ++k) {
+      splice_arena(std::move(arenas[k]), k * epc_bits_ / chunks,
+                   (k + 1) * epc_bits_ / chunks);
+    }
   }
   built_ = true;
 }
@@ -792,7 +861,7 @@ Schedule IncrementalPlanner::plan_cycle(
     for (const std::uint32_t slot : flip_adds) target_added(slot);
   }
 
-  stats_.live_rows = live_edges_;
+  stats_.live_rows = arena_.live_edges;
   return run_greedy();
 }
 

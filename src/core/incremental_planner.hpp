@@ -46,6 +46,10 @@
 #include "core/setcover.hpp"
 #include "util/epc.hpp"
 
+namespace tagwatch::util {
+class TaskPool;
+}
+
 namespace tagwatch::core {
 
 /// Counters describing what the planner did, cumulatively and in the most
@@ -76,9 +80,14 @@ class IncrementalPlanner {
  public:
   /// `churn_threshold`: rebuild from scratch when (arrivals + departures +
   /// target flips) / scene size exceeds it.  0 rebuilds every cycle with
-  /// any delta; ≥ 1 effectively never rebuilds.
+  /// any delta; ≥ 1 effectively never rebuilds.  `pool` (not owned, may
+  /// be null) shards full rebuilds across its executors, one contiguous
+  /// pointer range of tries per task built into a task-local arena and
+  /// spliced back in order — the resulting plans are byte-identical to a
+  /// pool-less planner's at any thread count.
   explicit IncrementalPlanner(InventoryCostModel cost_model,
-                              double churn_threshold = 0.15);
+                              double churn_threshold = 0.15,
+                              util::TaskPool* pool = nullptr);
 
   IncrementalPlanner(const IncrementalPlanner&) = delete;
   IncrementalPlanner& operator=(const IncrementalPlanner&) = delete;
@@ -149,6 +158,24 @@ class IncrementalPlanner {
     std::vector<std::uint64_t> words;
     std::vector<std::uint32_t> active;
     std::size_t count = 0;
+    /// Column pointers of the current materialize() pass (scratch-local so
+    /// parallel rebuild tasks never share it).
+    std::vector<const std::uint64_t*> col_ptrs;
+  };
+
+  /// The edge/node pools of one trie forest.  The member arena_ holds the
+  /// live structure; parallel rebuild tasks each build their pointer range
+  /// into a task-local Arena (free lists stay empty — the add path never
+  /// frees) which splice_arena() appends with index offsets.  Plans are
+  /// invariant to the pool layout: the greedy heap orders by (gain, key)
+  /// with a key unique per live edge, so pop order never depends on edge
+  /// indices.
+  struct Arena {
+    std::vector<Edge> edges;
+    std::vector<Node> nodes;
+    std::vector<std::uint32_t> free_edges;
+    std::vector<std::uint32_t> free_nodes;
+    std::size_t live_edges = 0;
   };
 
   // ------------------------------------------------------- slot registry
@@ -175,7 +202,11 @@ class IncrementalPlanner {
   void target_removed(std::uint32_t slot);
   void arrive_in_trie(std::size_t p, std::uint32_t slot);
   void depart_in_trie(std::size_t p, std::uint32_t slot);
-  void add_target_in_trie(std::size_t p, std::uint32_t slot);
+  /// Adds target `slot` to trie `p`, building into `a` (arena_ for delta
+  /// updates; a task-local arena during parallel rebuild — tries_[p]'s
+  /// roots then hold a-local indices until splice_arena() remaps them).
+  void add_target_in_trie(Arena& a, Scratch& s, std::size_t p,
+                          std::uint32_t slot);
   void remove_target_in_trie(std::size_t p, std::uint32_t slot);
   /// Splits edge `e` at divergence depth `j` (a new branch node), placing
   /// `slot` as a size-1 blob on the far side.  The top part keeps the row
@@ -185,15 +216,19 @@ class IncrementalPlanner {
   /// Expands target `slot`'s path below `(node, side)` out of the blob
   /// there (or below the trie root when node == kNone), creating the edge
   /// chain of branch points down to its terminal suffix class.
-  void expand_target_path(std::size_t p, std::uint32_t node, int side,
-                          std::uint32_t slot);
+  void expand_target_path(Arena& a, Scratch& s, std::size_t p,
+                          std::uint32_t node, int side, std::uint32_t slot);
   /// Frees the whole structure strictly below edge `e` (collapse to blob).
   void free_below(std::uint32_t e);
   std::size_t edge_bot(const Edge& e) const noexcept;
   void refresh_min_slot(Edge& e) const;
+  /// Appends `a`'s pools to arena_, remapping every cross-pool index (and
+  /// the trie roots of [p_begin, p_end)) by the splice offsets.
+  /// Precondition: a's free lists are empty (rebuild never frees).
+  void splice_arena(Arena&& a, std::size_t p_begin, std::size_t p_end);
 
-  std::uint32_t alloc_edge();
-  std::uint32_t alloc_node();
+  std::uint32_t alloc_edge(Arena& a);
+  std::uint32_t alloc_node(Arena& a);
   void free_edge(std::uint32_t e);
   void free_node(std::uint32_t n);
 
@@ -215,6 +250,7 @@ class IncrementalPlanner {
 
   InventoryCostModel cost_model_;
   double churn_threshold_;
+  util::TaskPool* pool_;  ///< Not owned; null = serial rebuilds.
 
   // Slot registry: EPCs packed row-major for fast bit access, per-bit
   // membership columns (vacant slots zero in both), and the EPC-sorted
@@ -235,15 +271,10 @@ class IncrementalPlanner {
   std::vector<std::uint32_t> target_slots_;  ///< Unordered target set.
 
   std::vector<Trie> tries_;
-  std::vector<Edge> edges_;
-  std::vector<Node> nodes_;
-  std::vector<std::uint32_t> free_edges_;
-  std::vector<std::uint32_t> free_nodes_;
-  std::size_t live_edges_ = 0;
+  Arena arena_;
 
   // Reused per-cycle scratch (member so plan_cycle stays allocation-lean).
   Scratch scratch_;
-  mutable std::vector<const std::uint64_t*> col_ptrs_;
   std::vector<std::uint32_t> rank_;       ///< Slot → EPC-sorted position.
   std::vector<std::uint8_t> remaining_;   ///< Per-slot uncovered flag.
   std::vector<double> cost_memo_;

@@ -174,18 +174,26 @@ Schedule GreedyCoverScheduler::greedy_lazy(
 
 Schedule GreedyCoverScheduler::plan(
     const BitmaskIndex& index, const util::IndicatorBitmap& targets) const {
+  return plan(index, targets, nullptr);
+}
+
+Schedule GreedyCoverScheduler::plan(const BitmaskIndex& index,
+                                    const util::IndicatorBitmap& targets,
+                                    util::TaskPool* pool) const {
   if (targets.none()) {
     throw std::invalid_argument("GreedyCoverScheduler::plan: no targets");
   }
   // kDense runs the pre-fast-path pipeline end to end (bit-by-bit candidate
   // rebuild + full rescan); kLazy the word-parallel incremental one.  Both
-  // produce the same candidates and the same plan.
+  // produce the same candidates and the same plan.  The pool only
+  // parallelizes candidate generation, which is deterministic at any
+  // thread count, so the plan is pool-independent too.
   Schedule plan;
   if (evaluation_ == GreedyEvaluation::kDense) {
     plan = greedy_dense(index, index.candidates_for_reference(targets),
                         targets);
   } else {
-    plan = greedy_lazy(index, index.candidates_for(targets), targets);
+    plan = greedy_lazy(index, index.candidates_for(targets, pool), targets);
   }
 
   // Worst-case guard: if the "optimal" selection costs more than reading

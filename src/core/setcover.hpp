@@ -65,6 +65,12 @@ class GreedyCoverScheduler {
   Schedule plan(const BitmaskIndex& index,
                 const util::IndicatorBitmap& targets) const;
 
+  /// plan() with candidate generation sharded across `pool` (see
+  /// BitmaskIndex::candidates_for).  The plan is byte-identical to the
+  /// serial overload at any thread count; a null pool is the serial path.
+  Schedule plan(const BitmaskIndex& index, const util::IndicatorBitmap& targets,
+                util::TaskPool* pool) const;
+
   /// The naive plan: one full-EPC bitmask per target (§5.2's worst case).
   Schedule naive_plan(const BitmaskIndex& index,
                       const util::IndicatorBitmap& targets) const;

@@ -35,6 +35,7 @@
 #include "core/setcover.hpp"
 #include "llrp/reader_client.hpp"
 #include "util/rng.hpp"
+#include "util/task_pool.hpp"
 #include "util/wall_clock.hpp"
 
 namespace tagwatch::core {
@@ -58,6 +59,12 @@ struct PlannerConfig {
   /// over scene size) above which the incremental planner rebuilds its
   /// structure from scratch instead of patching it.
   double churn_threshold = 0.15;
+  /// Worker threads of Phase-II candidate generation: BitmaskIndex
+  /// candidate sweeps and incremental-planner rebuilds shard across a
+  /// shared pool of this size.  Any value produces bit-identical plans
+  /// and journal digests (enforced by differential tests); raising it
+  /// only buys planning throughput on large scenes.
+  std::size_t threads = 1;
 };
 
 /// Controller configuration (paper §6 "parameter choice" defaults).
@@ -88,6 +95,12 @@ struct TagwatchConfig {
   /// Cross-cycle planner policy (kGreedyCover only; other modes and the
   /// degraded/read-all paths never consult it).
   PlannerConfig planner;
+  /// Pin every util::simd kernel to the portable scalar implementation
+  /// instead of the best instruction set detected at startup.  All kernels
+  /// are bit-identical across implementations (enforced by differential
+  /// tests), so this only trades speed — it exists for A/B benchmarking
+  /// and for ruling SIMD out when chasing a miscompare.
+  bool force_scalar_simd = false;
   /// Above this mobile fraction, selective reading stops paying off and the
   /// controller falls back to reading everything (§3 "Scope").
   double mobile_fraction_threshold = 0.20;
@@ -286,6 +299,9 @@ class TagwatchController {
   std::vector<util::Epc> extra_targets_;
   /// Lazily-built persistent Phase II planner (planner.incremental).
   std::unique_ptr<IncrementalPlanner> incremental_planner_;
+  /// Lazily-built candidate-generation pool (planner.threads > 1);
+  /// nullptr means the serial path.
+  std::unique_ptr<util::TaskPool> planning_pool_;
 
   // ------------------------------------------------- resilience state
   HealthMetrics health_;

@@ -1,0 +1,53 @@
+// Cache-line-aligned allocator for SIMD-swept word arrays.
+//
+// AVX2 loads are fastest (and never split a cache line) when the backing
+// storage starts on a 64-byte boundary.  AlignedAllocator is a stateless
+// std::allocator drop-in that over-aligns every allocation; because it is
+// stateless and always-equal, vector move/swap transfer the (aligned)
+// buffer pointer itself, so alignment survives move construction, swap,
+// and growth reallocations alike — the property the IndicatorBitmap
+// regression tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace tagwatch::util {
+
+/// Minimal aligned allocator: every allocate() returns memory aligned to
+/// `Alignment` bytes (a power of two, at least alignof(T)).
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace tagwatch::util

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "util/simd.hpp"
+
 namespace tagwatch::util {
 
 IndicatorBitmap::IndicatorBitmap(std::size_t size)
@@ -53,11 +55,7 @@ void IndicatorBitmap::assign_words(std::size_t size,
   if (tail != 0 && !words_.empty()) {
     words_.back() &= (std::uint64_t{1} << tail) - 1;
   }
-  std::size_t total = 0;
-  for (const auto w : words_) {
-    total += static_cast<std::size_t>(std::popcount(w));
-  }
-  count_ = total;
+  count_ = simd::popcount_words(words_.data(), words_.size());
 }
 
 void IndicatorBitmap::assign_words(std::size_t size,
@@ -92,10 +90,8 @@ void IndicatorBitmap::assign_words_sparse(std::size_t size,
       }
     }
   } else {
-    words_.assign(n_words, 0);
-    for (std::size_t k = 0; k < n_idx; ++k) {
-      words_[idx[k]] = words[idx[k]];
-    }
+    words_.resize(n_words);
+    simd::scatter_words(words_.data(), words, idx, n_idx, n_words);
   }
   size_ = size;
   count_ = count;
@@ -120,44 +116,26 @@ void IndicatorBitmap::fill() {
 
 std::size_t IndicatorBitmap::and_count(const IndicatorBitmap& other) const {
   check_same_size(other);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total +=
-        static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
-  }
-  return total;
+  return simd::and_popcount(words_.data(), other.words_.data(),
+                            words_.size());
 }
 
 void IndicatorBitmap::and_with(const IndicatorBitmap& other) {
   check_same_size(other);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= other.words_[i];
-    total += static_cast<std::size_t>(std::popcount(words_[i]));
-  }
-  count_ = total;
+  count_ = simd::and_inplace_popcount(words_.data(), other.words_.data(),
+                                      words_.size());
 }
 
 void IndicatorBitmap::subtract(const IndicatorBitmap& other) {
   check_same_size(other);
-  std::size_t removed = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    removed +=
-        static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
-    words_[i] &= ~other.words_[i];
-  }
-  count_ -= removed;
+  count_ -= simd::andnot_inplace_removed(words_.data(), other.words_.data(),
+                                         words_.size());
 }
 
 void IndicatorBitmap::merge(const IndicatorBitmap& other) {
   check_same_size(other);
-  std::size_t added = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    added +=
-        static_cast<std::size_t>(std::popcount(~words_[i] & other.words_[i]));
-    words_[i] |= other.words_[i];
-  }
-  count_ += added;
+  count_ += simd::or_inplace_added(words_.data(), other.words_.data(),
+                                   words_.size());
 }
 
 std::string IndicatorBitmap::to_string() const {

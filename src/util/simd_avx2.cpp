@@ -1,0 +1,357 @@
+// AVX2 kernel table (see simd.hpp for the dispatch contract).
+//
+// The one file in the tree allowed to touch raw vector intrinsics (the
+// simd-discipline lint rule pins them here).  Every kernel is compiled
+// with a per-function target("avx2") attribute instead of a file-level
+// -mavx2 flag, so this TU links into any build and the CPUID probe in
+// avx2_kernels() decides at runtime whether the table is usable.
+//
+// Bit-identity with the scalar kernels is by construction: the word
+// kernels are integer AND/OR/ANDNOT plus a nibble-LUT popcount (exact),
+// and the two double kernels evaluate the same elementwise IEEE
+// expressions lane-parallel with no reassociation.  test_simd.cpp fuzzes
+// every kernel against its scalar twin at adversarial widths.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
+
+#include <algorithm>
+#include <bit>
+
+#include "util/simd.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+namespace tagwatch::util::simd {
+
+namespace {
+
+#define TAGWATCH_AVX2 __attribute__((target("avx2")))
+
+/// Per-64-bit-lane popcount of v: nibble-LUT shuffle (vpshufb) for the
+/// per-byte counts, then vpsadbw folds each 8-byte group into its lane.
+TAGWATCH_AVX2 inline __m256i popcount_epi64(__m256i v) noexcept {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+/// Horizontal sum of the four 64-bit lanes.
+TAGWATCH_AVX2 inline std::uint64_t hsum_epi64(__m256i v) noexcept {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_extract_epi64(s, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+TAGWATCH_AVX2 std::size_t avx2_popcount_words(const std::uint64_t* w,
+                                              std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    acc = _mm256_add_epi64(acc, popcount_epi64(v));
+  }
+  std::size_t total = static_cast<std::size_t>(hsum_epi64(acc));
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(w[i]));
+  }
+  return total;
+}
+
+TAGWATCH_AVX2 std::size_t avx2_and_popcount(const std::uint64_t* a,
+                                            const std::uint64_t* b,
+                                            std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    acc = _mm256_add_epi64(acc, popcount_epi64(v));
+  }
+  std::size_t total = static_cast<std::size_t>(hsum_epi64(acc));
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+TAGWATCH_AVX2 std::size_t avx2_and_inplace_popcount(std::uint64_t* dst,
+                                                    const std::uint64_t* src,
+                                                    std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+    acc = _mm256_add_epi64(acc, popcount_epi64(v));
+  }
+  std::size_t total = static_cast<std::size_t>(hsum_epi64(acc));
+  for (; i < n; ++i) {
+    const std::uint64_t v = dst[i] & src[i];
+    dst[i] = v;
+    total += static_cast<std::size_t>(std::popcount(v));
+  }
+  return total;
+}
+
+TAGWATCH_AVX2 std::size_t avx2_andnot_inplace_removed(std::uint64_t* dst,
+                                                      const std::uint64_t* src,
+                                                      std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_and_si256(d, s)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(s, d));
+  }
+  std::size_t removed = static_cast<std::size_t>(hsum_epi64(acc));
+  for (; i < n; ++i) {
+    removed += static_cast<std::size_t>(std::popcount(dst[i] & src[i]));
+    dst[i] &= ~src[i];
+  }
+  return removed;
+}
+
+TAGWATCH_AVX2 std::size_t avx2_or_inplace_added(std::uint64_t* dst,
+                                                const std::uint64_t* src,
+                                                std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_andnot_si256(d, s)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(d, s));
+  }
+  std::size_t added = static_cast<std::size_t>(hsum_epi64(acc));
+  for (; i < n; ++i) {
+    added += static_cast<std::size_t>(std::popcount(~dst[i] & src[i]));
+    dst[i] |= src[i];
+  }
+  return added;
+}
+
+TAGWATCH_AVX2 std::size_t avx2_fused_and_columns(
+    std::uint64_t* dst, const std::uint64_t* head,
+    const std::uint64_t* const* cols, std::size_t n_cols,
+    std::size_t n_words) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n_words; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(head + i));
+    // Once the whole block is zero no later column can revive it.
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      if (_mm256_testz_si256(v, v) != 0) break;
+      v = _mm256_and_si256(
+          v, _mm256_loadu_si256(
+                 reinterpret_cast<const __m256i*>(cols[c] + i)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+    acc = _mm256_add_epi64(acc, popcount_epi64(v));
+  }
+  std::size_t total = static_cast<std::size_t>(hsum_epi64(acc));
+  for (; i < n_words; ++i) {
+    std::uint64_t v = head[i];
+    for (std::size_t c = 0; c < n_cols && v != 0; ++c) v &= cols[c][i];
+    dst[i] = v;
+    total += static_cast<std::size_t>(std::popcount(v));
+  }
+  return total;
+}
+
+TAGWATCH_AVX2 std::size_t avx2_gather_and_popcount(const std::uint64_t* a,
+                                                   const std::uint64_t* b,
+                                                   const std::size_t* idx,
+                                                   std::size_t n_idx) noexcept {
+  static_assert(sizeof(std::size_t) == sizeof(std::int64_t));
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t k = 0;
+  for (; k + 4 <= n_idx; k += 4) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + k));
+    const __m256i va = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(a), vi, 8);
+    const __m256i vb = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(b), vi, 8);
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_and_si256(va, vb)));
+  }
+  std::size_t total = static_cast<std::size_t>(hsum_epi64(acc));
+  for (; k < n_idx; ++k) {
+    total += static_cast<std::size_t>(std::popcount(a[idx[k]] & b[idx[k]]));
+  }
+  return total;
+}
+
+TAGWATCH_AVX2 std::size_t avx2_nonzero_indices(const std::uint64_t* w,
+                                               std::size_t n,
+                                               std::size_t* out) noexcept {
+  std::size_t m = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    // All-zero blocks — the common case in narrowed coverages — skip in
+    // one test; mixed blocks fall back to a per-word scan.
+    if (_mm256_testz_si256(v, v) != 0) continue;
+    for (std::size_t j = i; j < i + 4; ++j) {
+      if (w[j] != 0) out[m++] = j;
+    }
+  }
+  for (; i < n; ++i) {
+    if (w[i] != 0) out[m++] = i;
+  }
+  return m;
+}
+
+TAGWATCH_AVX2 std::size_t avx2_nonzero_indices_u32(const std::uint64_t* w,
+                                                   std::size_t n,
+                                                   std::uint32_t* out) noexcept {
+  std::size_t m = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    if (_mm256_testz_si256(v, v) != 0) continue;
+    for (std::size_t j = i; j < i + 4; ++j) {
+      if (w[j] != 0) out[m++] = static_cast<std::uint32_t>(j);
+    }
+  }
+  for (; i < n; ++i) {
+    if (w[i] != 0) out[m++] = static_cast<std::uint32_t>(i);
+  }
+  return m;
+}
+
+TAGWATCH_AVX2 void avx2_scatter_words(std::uint64_t* dst,
+                                      const std::uint64_t* src,
+                                      const std::size_t* idx,
+                                      std::size_t n_idx,
+                                      std::size_t n_words) noexcept {
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n_words; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), zero);
+  }
+  for (; i < n_words; ++i) dst[i] = 0;
+  // AVX2 has no scatter instruction; the listed copies stay scalar.
+  for (std::size_t k = 0; k < n_idx; ++k) dst[idx[k]] = src[idx[k]];
+}
+
+TAGWATCH_AVX2 void avx2_strided_weight_decay(double* w, std::size_t stride,
+                                             std::size_t n, double factor,
+                                             std::size_t skip) noexcept {
+  if (stride < 4) {
+    // The vector path loads a full 4-double group per element; a narrower
+    // stride has no such group, so decay stays scalar (identical math).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == skip) continue;
+      w[i * stride] = factor * w[i * stride];
+    }
+    return;
+  }
+  const __m256d vfactor = _mm256_set1_pd(factor);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == skip) continue;
+    double* p = w + i * stride;
+    // One component group per vector: multiply lane 0 (the weight) and
+    // blend lanes 1..3 back bit-exact — a multiply must never touch the
+    // neighboring fields (lane 3 can be a size_t bit pattern).
+    const __m256d v = _mm256_loadu_pd(p);
+    _mm256_storeu_pd(p, _mm256_blend_pd(v, _mm256_mul_pd(v, vfactor), 0x1));
+  }
+}
+
+TAGWATCH_AVX2 std::size_t avx2_strided_match_first(
+    const double* means, const double* stddevs, std::size_t stride,
+    std::size_t n, double value, double band_scale,
+    double min_stddev) noexcept {
+  const __m256d vvalue = _mm256_set1_pd(value);
+  const __m256d vscale = _mm256_set1_pd(band_scale);
+  const __m256d vmin = _mm256_set1_pd(min_stddev);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  const std::int64_t s = static_cast<std::int64_t>(stride);
+  const __m256i vstride = _mm256_setr_epi64x(0, s, 2 * s, 3 * s);
+  const __m256i lane_id = _mm256_setr_epi64x(0, 1, 2, 3);
+  for (std::size_t base = 0; base < n; base += 4) {
+    const std::size_t lanes = std::min<std::size_t>(4, n - base);
+    // Lane-valid mask keeps tail gathers in bounds and tail lanes out of
+    // the match mask.
+    const __m256i valid = _mm256_cmpgt_epi64(
+        _mm256_set1_epi64x(static_cast<std::int64_t>(lanes)), lane_id);
+    const __m256d vmask = _mm256_castsi256_pd(valid);
+    const __m256d mean = _mm256_mask_i64gather_pd(
+        _mm256_setzero_pd(), means + base * stride, vstride, vmask, 8);
+    const __m256d sd = _mm256_mask_i64gather_pd(
+        _mm256_setzero_pd(), stddevs + base * stride, vstride, vmask, 8);
+    // Same elementwise expression as the scalar kernel:
+    // |value - mean| < band_scale * max(stddev, min_stddev).
+    const __m256d sigma = _mm256_max_pd(sd, vmin);
+    const __m256d band = _mm256_mul_pd(vscale, sigma);
+    const __m256d diff =
+        _mm256_andnot_pd(sign_mask, _mm256_sub_pd(vvalue, mean));
+    const __m256d lt = _mm256_cmp_pd(diff, band, _CMP_LT_OQ);
+    const unsigned hits = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_and_pd(lt, vmask)));
+    if (hits != 0) {
+      return base + static_cast<std::size_t>(std::countr_zero(hits));
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+#undef TAGWATCH_AVX2
+
+constexpr KernelTable kAvx2Table = {
+    Isa::kAvx2,
+    &avx2_popcount_words,
+    &avx2_and_popcount,
+    &avx2_and_inplace_popcount,
+    &avx2_andnot_inplace_removed,
+    &avx2_or_inplace_added,
+    &avx2_fused_and_columns,
+    &avx2_gather_and_popcount,
+    &avx2_nonzero_indices,
+    &avx2_nonzero_indices_u32,
+    &avx2_scatter_words,
+    &avx2_strided_weight_decay,
+    &avx2_strided_match_first,
+};
+
+}  // namespace
+
+const KernelTable* avx2_kernels() noexcept {
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported ? &kAvx2Table : nullptr;
+}
+
+}  // namespace tagwatch::util::simd
+
+#else  // non-x86 or non-GNU toolchain: no AVX2 table.
+
+namespace tagwatch::util::simd {
+
+const KernelTable* avx2_kernels() noexcept { return nullptr; }
+
+}  // namespace tagwatch::util::simd
+
+#endif

@@ -24,6 +24,12 @@
 //   planner.churn_threshold = 0.15  delta fraction of the scene above
 //                                 which the incremental planner rebuilds
 //                                 from scratch [0,1]
+//   planner.threads = 1           worker threads of Phase-II candidate
+//                                 generation (plans are bit-identical at
+//                                 any value)
+//   simd.force_scalar = false     pin util::simd kernels to the portable
+//                                 scalar implementations (A/B baseline;
+//                                 results are bit-identical)
 //   cycles          = 10
 //   phase2_seconds  = 5
 //   channels        = 1           1 or 16 (920–926 MHz plan)
@@ -135,7 +141,7 @@ constexpr const char* kAcceptedKeys[] = {
     "fault_drop_rate", "fault_duplicate_rate", "fault_corrupt_rate",
     "fault_reconnect_ms", "retry_attempts", "degrade_after",
     "restore_after", "scheduler_evaluation", "planner.incremental",
-    "planner.churn_threshold",
+    "planner.churn_threshold", "planner.threads", "simd.force_scalar",
     "fleet.readers", "fleet.pitch", "fleet.radius", "fleet.policy",
     "fleet.session", "fleet.target", "fleet.dedup_ms", "fleet.seam_tags",
     "fleet.takeover", "fleet.suspect_after", "fleet.down_after",
@@ -366,6 +372,10 @@ int run_fleet(const util::KeyValueConfig& cfg) {
       cfg.get_bool_or("planner.incremental", false);
   fcfg.controller.planner.churn_threshold =
       double_in(cfg, "planner.churn_threshold", 0.15, 0.0, 1.0);
+  fcfg.controller.planner.threads =
+      static_cast<std::size_t>(int_in(cfg, "planner.threads", 1, 1, 64));
+  fcfg.controller.force_scalar_simd =
+      cfg.get_bool_or("simd.force_scalar", false);
   fcfg.controller.phase2_duration =
       util::sec(int_in(cfg, "phase2_seconds", 5, 1, 3600));
   fcfg.controller.pinned_targets = cfg.get_epc_list("pinned_targets");
@@ -676,6 +686,9 @@ int run(int argc, char** argv) {
   twcfg.planner.incremental = cfg.get_bool_or("planner.incremental", false);
   twcfg.planner.churn_threshold =
       double_in(cfg, "planner.churn_threshold", 0.15, 0.0, 1.0);
+  twcfg.planner.threads =
+      static_cast<std::size_t>(int_in(cfg, "planner.threads", 1, 1, 64));
+  twcfg.force_scalar_simd = cfg.get_bool_or("simd.force_scalar", false);
   twcfg.phase2_duration =
       util::sec(int_in(cfg, "phase2_seconds", 5, 1, 3600));
   twcfg.pinned_targets = cfg.get_epc_list("pinned_targets");
